@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Ablation: three ways to pick the cores of a k-core heterogeneous
+ * CMP, evaluated on the full workload set (harmonic-mean IPT):
+ *
+ *  1. complete search over the customized configurations (the
+ *     configurational approach, Figure 3b / Table 6);
+ *  2. raw-characteristic subsetting: cluster workloads by normalized
+ *     raw characteristics, take each cluster medoid's customized
+ *     architecture (the workload-subsetting approach the paper warns
+ *     about, Figure 3a);
+ *  3. K-means on configuration vectors with nearest-member
+ *     compromise architectures (the Lee & Brooks-style baseline,
+ *     §2.2).
+ *
+ * Also prints the raw-characteristics dendrogram.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "comm/combination.hh"
+#include "comm/experiments.hh"
+#include "comm/kmeans.hh"
+#include "comm/subsetting.hh"
+#include "util/stats_util.hh"
+#include "util/table.hh"
+#include "workload/characteristics.hh"
+
+using namespace xps;
+
+namespace
+{
+
+std::string
+nameList(const PerfMatrix &m, std::vector<size_t> cols)
+{
+    std::sort(cols.begin(), cols.end());
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    std::string out;
+    for (size_t c : cols)
+        out += (out.empty() ? "" : ", ") + m.names()[c];
+    return out;
+}
+
+double
+harOn(const PerfMatrix &m, const std::vector<size_t> &cols)
+{
+    return evaluateCombination(m, cols, Merit::Harmonic).value;
+}
+
+} // namespace
+
+int
+main()
+{
+    const ExperimentContext &ctx = experimentContext();
+    const PerfMatrix &m = ctx.matrix;
+
+    // Raw-characteristic feature space.
+    const auto chars = measureSuite(ctx.suite);
+    std::vector<std::vector<double>> features;
+    for (const auto &c : chars)
+        features.push_back(c.featureVector());
+    std::vector<std::vector<double>> normalized = features;
+    normalizeColumns(normalized, 1.0);
+
+    std::vector<std::string> names;
+    for (const auto &c : chars)
+        names.push_back(c.name);
+    const Dendrogram dendro = Dendrogram::build(normalized, names);
+    std::printf("=== raw-characteristics dendrogram (average "
+                "linkage) ===\n\n");
+    std::fputs(dendro.render().c_str(), stdout);
+
+    std::printf("\n=== core selection: configurational vs "
+                "subsetting vs config-k-means ===\n\n");
+    AsciiTable table({"k", "method", "cores", "har IPT (full set)"});
+    for (size_t k = 2; k <= 4; ++k) {
+        // 1. complete search (configurational).
+        const auto complete = bestCombination(m, k, Merit::Harmonic);
+        table.beginRow();
+        table.cell(static_cast<long long>(k));
+        table.cell("complete search (configurational)");
+        table.cell(nameList(m, complete.columns));
+        table.cell(complete.merit.value, 3);
+
+        // 2. raw-characteristics clustering -> medoid architectures.
+        std::vector<size_t> reps;
+        for (const auto &cluster : dendro.cut(k))
+            reps.push_back(medoidOf(normalized, cluster));
+        table.beginRow();
+        table.cell(static_cast<long long>(k));
+        table.cell("raw-characteristic subsetting");
+        table.cell(nameList(m, reps));
+        table.cell(harOn(m, reps), 3);
+
+        // 3. K-means over configuration vectors.
+        const auto compromise = kMeansCompromise(ctx.configs, k, 99);
+        std::vector<size_t> km_cols = compromise;
+        std::sort(km_cols.begin(), km_cols.end());
+        km_cols.erase(std::unique(km_cols.begin(), km_cols.end()),
+                      km_cols.end());
+        table.beginRow();
+        table.cell(static_cast<long long>(k));
+        table.cell("k-means on config vectors");
+        table.cell(nameList(m, km_cols));
+        table.cell(harOn(m, km_cols), 3);
+    }
+    table.print();
+    return 0;
+}

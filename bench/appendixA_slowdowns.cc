@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Appendix A reproduction: the percentage slowdown of each benchmark
+ * (rows) on the customized cores of the other benchmarks (columns),
+ * with the links selected by the greedy surrogate assignments marked:
+ * '*' for the full-propagation assignment (Figure 7) and '_' for the
+ * forward-only assignment (Figure 8), as in the paper's appendix.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "comm/experiments.hh"
+#include "comm/surrogate.hh"
+#include "util/table.hh"
+
+using namespace xps;
+
+int
+main()
+{
+    const ExperimentContext &ctx = experimentContext();
+    const PerfMatrix &m = ctx.matrix;
+    const size_t n = m.size();
+
+    const SurrogateGraph full = greedySurrogates(m, Propagation::Full);
+    const SurrogateGraph fwd =
+        greedySurrogates(m, Propagation::Forward);
+
+    std::vector<std::vector<std::string>> marks(
+        n, std::vector<std::string>(n));
+    for (const auto &e : full.edges)
+        marks[e.benchmark][e.surrogate] += "*";
+    for (const auto &e : fwd.edges)
+        marks[e.benchmark][e.surrogate] += "_";
+
+    std::printf("=== Appendix A: %% slowdown on other benchmarks' "
+                "customized cores ===\n");
+    std::printf("('*' = link chosen by full-propagation greedy "
+                "assignment, '_' = forward-only)\n\n");
+
+    std::vector<std::string> headers{"workload"};
+    for (const auto &name : m.names())
+        headers.push_back(name);
+    AsciiTable table(headers);
+    for (size_t w = 0; w < n; ++w) {
+        table.beginRow();
+        table.cell(m.names()[w]);
+        for (size_t c = 0; c < n; ++c) {
+            std::string cell =
+                formatDouble(100.0 * m.slowdown(w, c), 1) + "%";
+            if (!marks[w][c].empty())
+                cell = marks[w][c] + cell;
+            table.cell(cell);
+        }
+    }
+    table.print();
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Figure 2 reproduction: how the unified clock couples the issue
+ * queue and L1 cache sizing. The paper's figure shows four scenarios
+ * (a-d) of a representative issue queue and L1 cache fit against
+ * 1ns / 0.66ns clocks. Here the same scenarios are computed from the
+ * cacti-lite model: for each clock and stage assignment, the largest
+ * issue queue and L1 capacity that fit, and the slack each leaves.
+ *
+ * Also prints the Table-1 unit-delay mapping at representative sizes.
+ */
+
+#include <cstdio>
+
+#include "timing/fitting.hh"
+#include "timing/unit_timing.hh"
+#include "util/table.hh"
+
+using namespace xps;
+
+int
+main()
+{
+    UnitTiming timing;
+    const uint32_t width = 4;
+
+    std::printf("=== Figure 2: clock / issue-queue / L1 fitting "
+                "scenarios ===\n\n");
+
+    struct Scenario
+    {
+        const char *label;
+        double clock;
+        int iq_stages;
+        int l1_stages;
+    };
+    // The paper's scenarios: (a) slow clock, slack in the L1;
+    // (b) faster clock, same stage counts; (c) faster clock and a
+    // downsized issue queue; (d) slow clock with the L1 grown to use
+    // its full budget.
+    const Scenario scenarios[] = {
+        {"a: 0.50ns, IQ 1 stage, L1 2 stages", 0.50, 1, 2},
+        {"b: 0.33ns, IQ 1 stage, L1 2 stages", 0.33, 1, 2},
+        {"c: 0.33ns, IQ 1 stage, L1 3 stages", 0.33, 1, 3},
+        {"d: 0.50ns, IQ 1 stage, L1 3 stages", 0.50, 1, 3},
+    };
+
+    AsciiTable table({"scenario", "IQ max", "IQ delay(ns)",
+                      "IQ slack(ns)", "L1 max", "L1 delay(ns)",
+                      "L1 slack(ns)"});
+    for (const auto &sc : scenarios) {
+        const uint32_t iq = maxFitting(
+            timing, candidates::iqSizes(),
+            [&](uint32_t n) { return timing.iqTotal(n, width); },
+            sc.iq_stages, sc.clock);
+        CacheGeom l1{};
+        const bool have_l1 = maxCapacityCacheFitting(
+            timing, sc.l1_stages, sc.clock, 512ULL << 10, l1);
+        table.beginRow();
+        table.cell(sc.label);
+        table.cell(static_cast<long long>(iq));
+        const double iq_delay =
+            iq ? timing.iqTotal(iq, width) : 0.0;
+        table.cell(iq_delay, 3);
+        table.cell(timing.budget(sc.iq_stages, sc.clock) - iq_delay, 3);
+        table.cell(have_l1 ? formatBytes(l1.capacityBytes()) : "-");
+        const double l1_delay = have_l1 ?
+            timing.cacheAccess(l1.sets, l1.assoc, l1.lineBytes) : 0.0;
+        table.cell(l1_delay, 3);
+        table.cell(timing.budget(sc.l1_stages, sc.clock) - l1_delay, 3);
+    }
+    table.print();
+
+    std::printf("\n=== Table 1: unit access times from the cacti-lite "
+                "model ===\n\n");
+    AsciiTable units({"unit", "geometry", "delay(ns)"});
+    units.addRow({"L1 data cache", "64KB, 2-way, 64B lines, 2r2w",
+                  formatDouble(timing.cacheAccess(512, 2, 64), 3)});
+    units.addRow({"L2 data cache", "2MB, 8-way, 128B lines, 2r2w",
+                  formatDouble(timing.cacheAccess(2048, 8, 128), 3)});
+    units.addRow({"wakeup (CAM)", "64-entry IQ, width 4",
+                  formatDouble(timing.iqWakeup(64, 4), 3)});
+    units.addRow({"select", "64-entry IQ, width 4",
+                  formatDouble(timing.iqSelect(64, 4), 3)});
+    units.addRow({"reg file (ROB)", "256 entries, width 4",
+                  formatDouble(timing.regfileAccess(256, 4), 3)});
+    units.addRow({"LSQ search", "128 entries",
+                  formatDouble(timing.lsqSearch(128), 3)});
+    units.print();
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figures 6, 7 and 8 reproduction: the reduced surrogating-graphs
+ * produced by greedy assignment of surrogate architectures under the
+ * three propagation policies of §5.4 — no propagation (Figure 6),
+ * full forward+backward propagation (Figure 7), and forward-only
+ * propagation (Figure 8) — with the harmonic-mean IPT and average
+ * slowdown each policy yields.
+ */
+
+#include <cstdio>
+
+#include "comm/experiments.hh"
+#include "comm/surrogate.hh"
+#include "util/table.hh"
+
+using namespace xps;
+
+int
+main()
+{
+    const ExperimentContext &ctx = experimentContext();
+    const PerfMatrix &m = ctx.matrix;
+
+    struct Case
+    {
+        const char *figure;
+        Propagation policy;
+        size_t stopAtRoots; // 0 = run to exhaustion
+    };
+    // Forward propagation alone can always merge two remaining roots,
+    // so run to exhaustion it ends at one core; the paper's Figure 8
+    // presents the two-core stage, and so do we.
+    const Case cases[] = {
+        {"Figure 6 (no propagation)", Propagation::None, 0},
+        {"Figure 7 (full propagation)", Propagation::Full, 0},
+        {"Figure 8 (forward propagation, stopped at 2 cores)",
+         Propagation::Forward, 2},
+    };
+
+    AsciiTable summary({"policy", "edges", "remaining cores",
+                        "har IPT", "avg slowdown"});
+    for (const auto &c : cases) {
+        std::printf("=== %s ===\n\n", c.figure);
+        const SurrogateGraph graph =
+            greedySurrogates(m, c.policy, c.stopAtRoots);
+        std::fputs(graph.render(m).c_str(), stdout);
+        std::printf("\n");
+
+        bool feedback = false;
+        for (const auto &e : graph.edges)
+            feedback |= e.feedback;
+        if (feedback)
+            std::printf("feedback-surrogating occurred (see edges "
+                        "marked [feedback])\n\n");
+
+        summary.beginRow();
+        summary.cell(propagationName(c.policy));
+        summary.cell(static_cast<long long>(graph.edges.size()));
+        summary.cell(static_cast<long long>(graph.roots.size()));
+        summary.cell(graph.harmonicIpt, 2);
+        summary.cell(formatDouble(100.0 * graph.avgSlowdown, 1) + "%");
+    }
+
+    std::printf("=== summary across propagation policies ===\n\n");
+    summary.print();
+    return 0;
+}

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the reproduction's hot kernels:
+ * the timing simulator, the workload generator, the branch predictor,
+ * the cache model, cacti-lite, and the annealer loop. These bound the
+ * wall-clock cost of the experiment pipeline (the paper's three-week
+ * blade run maps onto these primitives).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "explore/annealer.hh"
+#include "sim/cache.hh"
+#include "sim/simulator.hh"
+#include "timing/unit_timing.hh"
+#include "workload/branch_predictor.hh"
+#include "workload/generator.hh"
+#include "workload/profile.hh"
+
+using namespace xps;
+
+namespace
+{
+
+void
+BM_GeneratorThroughput(benchmark::State &state)
+{
+    SyntheticWorkload gen(profileByName("gcc"));
+    uint64_t sum = 0;
+    for (auto _ : state) {
+        const MicroOp &op = gen.next();
+        sum += op.addr + static_cast<uint64_t>(op.cls);
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GeneratorThroughput);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    SyntheticWorkload gen(profileByName("twolf"));
+    BranchPredictor pred;
+    uint64_t hits = 0;
+    for (auto _ : state) {
+        const MicroOp &op = gen.next();
+        if (op.cls == OpClass::CondBranch)
+            hits += pred.predict(op.pc, op.taken);
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_BranchPredictor);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    Cache cache(512, static_cast<uint32_t>(state.range(0)), 64);
+    Rng rng(42);
+    uint64_t hits = 0;
+    for (auto _ : state) {
+        const uint64_t addr = rng.below(1ULL << 22);
+        if (!cache.access(addr))
+            cache.fill(addr);
+        else
+            ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CacheAccess)->Arg(1)->Arg(4)->Arg(16);
+
+void
+BM_CactiLite(benchmark::State &state)
+{
+    UnitTiming timing;
+    double acc = 0.0;
+    uint64_t sets = 64;
+    for (auto _ : state) {
+        acc += timing.cacheAccess(sets, 4, 64);
+        sets = sets == 16384 ? 64 : sets * 2;
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_CactiLite);
+
+void
+BM_SimulateWorkload(benchmark::State &state)
+{
+    const char *names[] = {"gzip", "gcc", "mcf"};
+    const WorkloadProfile &profile =
+        profileByName(names[state.range(0)]);
+    const CoreConfig cfg = CoreConfig::initial();
+    SimOptions opts;
+    opts.measureInstrs = 20000;
+    opts.warmupInstrs = 20000;
+    for (auto _ : state) {
+        const SimStats stats = simulate(profile, cfg, opts);
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 20000);
+    state.SetLabel(profile.name);
+}
+BENCHMARK(BM_SimulateWorkload)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_AnnealerAnalytic(benchmark::State &state)
+{
+    // Annealing over an analytic objective isolates the move/refit
+    // machinery from simulation cost.
+    UnitTiming timing;
+    SearchSpace space(timing);
+    AnnealParams params;
+    params.iterations = 50;
+    for (auto _ : state) {
+        Annealer annealer(
+            space,
+            [](const CoreConfig &cfg) {
+                return static_cast<double>(cfg.robSize) / 64.0 +
+                       1.0 / cfg.clockNs;
+            },
+            params);
+        const AnnealResult res = annealer.run(space.initialConfig());
+        benchmark::DoNotOptimize(res.bestScore);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 50);
+}
+BENCHMARK(BM_AnnealerAnalytic)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Table 4 reproduction: the customized architectural configuration of
+ * every SPEC2000int workload, found by the xp-scalar annealing
+ * exploration (plus the fixed parameters of Table 2 and the initial
+ * configuration of Table 3 for reference).
+ *
+ * First run computes and caches the exploration (see DESIGN.md §5.5);
+ * later runs — and the downstream benches — reuse the cache.
+ */
+
+#include <cstdio>
+
+#include "comm/experiments.hh"
+#include "sim/config.hh"
+#include "timing/technology.hh"
+#include "util/table.hh"
+
+using namespace xps;
+
+namespace
+{
+
+void
+printConfigTable(const std::vector<CoreConfig> &configs,
+                 const Technology &tech)
+{
+    // Transposed like the paper: parameters as rows, benchmarks as
+    // columns.
+    std::vector<std::string> headers{"parameter"};
+    for (const auto &cfg : configs)
+        headers.push_back(cfg.name);
+    AsciiTable t(headers);
+
+    auto row = [&](const std::string &label, auto getter) {
+        t.beginRow();
+        t.cell(label);
+        for (const auto &cfg : configs)
+            t.cell(getter(cfg));
+    };
+    row("cycles for memory access", [&](const CoreConfig &c) {
+        return std::to_string(c.memCycles(tech));
+    });
+    row("front-end pipeline stages", [&](const CoreConfig &c) {
+        return std::to_string(c.frontEndStages(tech));
+    });
+    row("dispatch/issue/commit width", [](const CoreConfig &c) {
+        return std::to_string(c.width);
+    });
+    row("ROB size", [](const CoreConfig &c) {
+        return std::to_string(c.robSize);
+    });
+    row("issue queue size", [](const CoreConfig &c) {
+        return std::to_string(c.iqSize);
+    });
+    row("min awaken latency", [](const CoreConfig &c) {
+        return std::to_string(c.awakenLatency());
+    });
+    row("scheduler/regfile depth", [](const CoreConfig &c) {
+        return std::to_string(c.schedDepth);
+    });
+    row("clock period (ns)", [](const CoreConfig &c) {
+        return formatDouble(c.clockNs, 2);
+    });
+    row("clock frequency (GHz)", [](const CoreConfig &c) {
+        return formatDouble(c.clockGhz(), 2);
+    });
+    row("L1D associativity", [](const CoreConfig &c) {
+        return std::to_string(c.l1Assoc);
+    });
+    row("L1D block size", [](const CoreConfig &c) {
+        return std::to_string(c.l1LineBytes);
+    });
+    row("L1D sets", [](const CoreConfig &c) {
+        return std::to_string(c.l1Sets);
+    });
+    row("L1D capacity", [](const CoreConfig &c) {
+        return formatBytes(c.l1CapacityBytes());
+    });
+    row("L1D access latency", [](const CoreConfig &c) {
+        return std::to_string(c.l1Cycles);
+    });
+    row("L2D associativity", [](const CoreConfig &c) {
+        return std::to_string(c.l2Assoc);
+    });
+    row("L2D block size", [](const CoreConfig &c) {
+        return std::to_string(c.l2LineBytes);
+    });
+    row("L2D sets", [](const CoreConfig &c) {
+        return std::to_string(c.l2Sets);
+    });
+    row("L2D capacity", [](const CoreConfig &c) {
+        return formatBytes(c.l2CapacityBytes());
+    });
+    row("L2D access latency", [](const CoreConfig &c) {
+        return std::to_string(c.l2Cycles);
+    });
+    row("LSQ size", [](const CoreConfig &c) {
+        return std::to_string(c.lsqSize);
+    });
+    t.print();
+}
+
+} // namespace
+
+int
+main()
+{
+    const Technology &tech = Technology::defaultTech();
+
+    std::printf("=== Table 2: fixed design parameters ===\n\n");
+    AsciiTable t2({"parameter", "value"});
+    t2.addRow({"memory access latency",
+               formatDouble(tech.memLatencyNs, 0) + "ns"});
+    t2.addRow({"front-end latency",
+               formatDouble(tech.frontEndLatencyNs, 0) + "ns"});
+    t2.addRow({"bit-width of IQ entries",
+               std::to_string(tech.iqEntryBits)});
+    t2.addRow({"latch latency",
+               formatDouble(tech.latchLatencyNs, 2) + "ns"});
+    t2.print();
+
+    std::printf("\n=== Table 3: initial configuration ===\n\n");
+    printConfigTable({CoreConfig::initial()}, tech);
+
+    const ExperimentContext &ctx = experimentContext();
+
+    std::printf("\n=== Table 4: customized configurations ===\n\n");
+    printConfigTable(ctx.configs, tech);
+
+    std::printf("\nIPT on own customized architecture:\n");
+    AsciiTable own({"workload", "IPT (instr/ns)", "IPC"});
+    for (size_t w = 0; w < ctx.suite.size(); ++w) {
+        own.beginRow();
+        own.cell(ctx.suite[w].name);
+        own.cell(ctx.matrix.ownIpt(w), 2);
+        own.cell(ctx.matrix.ownIpt(w) * ctx.configs[w].clockNs, 2);
+    }
+    own.print();
+    return 0;
+}

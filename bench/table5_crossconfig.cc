@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 5 reproduction: the IPT of every SPEC2000int benchmark (rows)
+ * on the customized architecture of every other benchmark (columns).
+ */
+
+#include <cstdio>
+
+#include "comm/experiments.hh"
+#include "util/table.hh"
+
+using namespace xps;
+
+int
+main()
+{
+    const ExperimentContext &ctx = experimentContext();
+    const PerfMatrix &m = ctx.matrix;
+
+    std::printf("=== Table 5: IPT of each benchmark (rows) on each "
+                "customized architecture (columns) ===\n\n");
+
+    std::vector<std::string> headers{"workload"};
+    for (const auto &name : m.names())
+        headers.push_back(name);
+    AsciiTable table(headers);
+    for (size_t w = 0; w < m.size(); ++w) {
+        table.beginRow();
+        table.cell(m.names()[w]);
+        for (size_t c = 0; c < m.size(); ++c)
+            table.cell(m.ipt(w, c), 2);
+    }
+    table.print();
+
+    // Worst-case slowdown headline (paper: ~50% for mcf).
+    size_t worst_w = 0, worst_c = 0;
+    double worst = 0.0;
+    for (size_t w = 0; w < m.size(); ++w) {
+        for (size_t c = 0; c < m.size(); ++c) {
+            if (m.slowdown(w, c) > worst) {
+                worst = m.slowdown(w, c);
+                worst_w = w;
+                worst_c = c;
+            }
+        }
+    }
+    std::printf("\nworst cross-configuration slowdown: %s on arch(%s) "
+                "= %.0f%%\n",
+                m.names()[worst_w].c_str(), m.names()[worst_c].c_str(),
+                100.0 * worst);
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The paper's end-to-end flow on a user-chosen subset of workloads:
+ * customize a core per workload, build the cross-configuration
+ * matrix, and pick the best heterogeneous core combination for a
+ * given core count under all three figures of merit (§5.2), plus the
+ * greedy surrogate alternative (§5.4).
+ *
+ *   ./hetero_cmp_design [cores] [workload...]
+ *   (defaults: 2 cores over {bzip, gzip, mcf, crafty, twolf})
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "comm/combination.hh"
+#include "comm/perf_matrix.hh"
+#include "comm/surrogate.hh"
+#include "explore/explorer.hh"
+#include "util/table.hh"
+#include "workload/profile.hh"
+
+int
+main(int argc, char **argv)
+{
+    size_t cores = 2;
+    std::vector<std::string> names{"bzip", "gzip", "mcf", "crafty",
+                                   "twolf"};
+    if (argc > 1)
+        cores = static_cast<size_t>(std::atoi(argv[1]));
+    if (argc > 2) {
+        names.clear();
+        for (int i = 2; i < argc; ++i)
+            names.emplace_back(argv[i]);
+    }
+
+    std::vector<xps::WorkloadProfile> suite;
+    for (const auto &n : names)
+        suite.push_back(xps::profileByName(n));
+
+    // Configurational characterization: one customized core each.
+    xps::ExplorerOptions opts;
+    opts.evalInstrs = 30000;
+    opts.saIters = 150;
+    opts.finalEvalInstrs = 100000;
+    xps::Explorer explorer(suite, opts);
+    std::vector<xps::CoreConfig> configs;
+    std::printf("customizing %zu cores...\n", suite.size());
+    for (const auto &r : explorer.exploreAll()) {
+        configs.push_back(r.best);
+        std::printf("  %s\n", r.best.summary().c_str());
+    }
+
+    // Cross-configuration performance (Table-5 analogue).
+    const xps::PerfMatrix matrix =
+        xps::PerfMatrix::build(suite, configs, 100000);
+
+    std::printf("\nbest %zu-core combinations (complete search):\n",
+                cores);
+    xps::AsciiTable table({"merit", "cores", "value"});
+    for (xps::Merit merit :
+         {xps::Merit::Average, xps::Merit::Harmonic,
+          xps::Merit::ContentionWeightedHarmonic}) {
+        const auto best =
+            xps::bestCombination(matrix, cores, merit);
+        std::string list;
+        for (size_t c : best.columns)
+            list += (list.empty() ? "" : ", ") + matrix.names()[c];
+        table.beginRow();
+        table.cell(xps::meritName(merit));
+        table.cell(list);
+        table.cell(best.merit.value, 3);
+    }
+    table.print();
+
+    std::printf("\ngreedy surrogate alternative (forward "
+                "propagation):\n");
+    const xps::SurrogateGraph graph = xps::greedySurrogates(
+        matrix, xps::Propagation::Forward, cores);
+    std::fputs(graph.render(matrix).c_str(), stdout);
+    return 0;
+}

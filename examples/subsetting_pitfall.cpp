@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The §5.3 lesson as a runnable example: two workloads that look
+ * nearly identical in raw characteristics (bzip and gzip) customize
+ * to different architectures, and substituting one for the other
+ * costs real performance.
+ *
+ *   ./subsetting_pitfall
+ */
+
+#include <cstdio>
+
+#include "comm/perf_matrix.hh"
+#include "explore/explorer.hh"
+#include "util/stats_util.hh"
+#include "workload/characteristics.hh"
+#include "workload/profile.hh"
+
+int
+main()
+{
+    const auto &bzip = xps::profileByName("bzip");
+    const auto &gzip = xps::profileByName("gzip");
+
+    // Raw characteristics: the Kiviat axes are close.
+    const auto cb = xps::measureCharacteristics(bzip);
+    const auto cg = xps::measureCharacteristics(gzip);
+    std::printf("raw characteristics (bzip vs gzip):\n");
+    const auto axis_names = xps::Characteristics::kiviatAxisNames();
+    const auto ab = cb.kiviatAxes();
+    const auto ag = cg.kiviatAxes();
+    for (size_t i = 0; i < axis_names.size(); ++i) {
+        std::printf("  %-14s %8.3f %8.3f\n", axis_names[i].c_str(),
+                    ab[i], ag[i]);
+    }
+
+    // Customize a core for each.
+    xps::ExplorerOptions opts;
+    opts.evalInstrs = 30000;
+    opts.saIters = 150;
+    opts.finalEvalInstrs = 100000;
+    xps::Explorer explorer({bzip, gzip}, opts);
+    std::vector<xps::CoreConfig> configs;
+    for (const auto &r : explorer.exploreAll())
+        configs.push_back(r.best);
+    std::printf("\ncustomized architectures:\n  %s\n  %s\n",
+                configs[0].summary().c_str(),
+                configs[1].summary().c_str());
+
+    // Cross evaluation: the configurational divergence.
+    const xps::PerfMatrix m =
+        xps::PerfMatrix::build({bzip, gzip}, configs, 150000);
+    std::printf("\ncross-configuration IPT:\n");
+    std::printf("  bzip: own %.2f, on arch(gzip) %.2f  (%.0f%% "
+                "slowdown)\n",
+                m.ipt(0, 0), m.ipt(0, 1), 100.0 * m.slowdown(0, 1));
+    std::printf("  gzip: own %.2f, on arch(bzip) %.2f  (%.0f%% "
+                "slowdown)\n",
+                m.ipt(1, 1), m.ipt(1, 0), 100.0 * m.slowdown(1, 0));
+    std::printf("\nlesson: raw similarity does not imply that one "
+                "workload's customized core serves the other.\n");
+    return 0;
+}

@@ -1,0 +1,70 @@
+#include "comm/combination.hh"
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+std::vector<std::vector<size_t>>
+kSubsets(size_t n, size_t k)
+{
+    std::vector<std::vector<size_t>> out;
+    if (k == 0 || k > n)
+        return out;
+    std::vector<size_t> idx(k);
+    for (size_t i = 0; i < k; ++i)
+        idx[i] = i;
+    while (true) {
+        out.push_back(idx);
+        // Advance the rightmost index that can still move.
+        size_t i = k;
+        while (i > 0) {
+            --i;
+            if (idx[i] != i + n - k) {
+                ++idx[i];
+                for (size_t j = i + 1; j < k; ++j)
+                    idx[j] = idx[j - 1] + 1;
+                break;
+            }
+            if (i == 0)
+                return out;
+        }
+    }
+}
+
+CombinationResult
+bestCombination(const PerfMatrix &matrix, size_t k, Merit merit,
+                const std::vector<size_t> *candidates,
+                const std::vector<double> *weights)
+{
+    std::vector<size_t> pool;
+    if (candidates) {
+        pool = *candidates;
+    } else {
+        pool.resize(matrix.size());
+        for (size_t i = 0; i < pool.size(); ++i)
+            pool[i] = i;
+    }
+    if (k == 0 || k > pool.size())
+        fatal("bestCombination: k=%zu out of range for %zu candidates",
+              k, pool.size());
+
+    CombinationResult best;
+    bool have = false;
+    for (const auto &subset : kSubsets(pool.size(), k)) {
+        std::vector<size_t> columns;
+        columns.reserve(k);
+        for (size_t i : subset)
+            columns.push_back(pool[i]);
+        const MeritResult res =
+            evaluateCombination(matrix, columns, merit, weights);
+        if (!have || res.value > best.merit.value) {
+            best.columns = columns;
+            best.merit = res;
+            have = true;
+        }
+    }
+    return best;
+}
+
+} // namespace xps

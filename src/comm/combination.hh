@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Exhaustive search over core combinations (the "complete search" of
+ * paper §5.2, Table 6): enumerate every k-subset of the candidate
+ * configurations and keep the one maximizing a figure of merit. The
+ * paper notes complexity grows combinatorially with the benchmark
+ * count; at suite sizes of interest (11 choose k) this is trivial.
+ */
+
+#ifndef XPS_COMM_COMBINATION_HH
+#define XPS_COMM_COMBINATION_HH
+
+#include <vector>
+
+#include "comm/merit.hh"
+
+namespace xps
+{
+
+/** A winning combination for one merit. */
+struct CombinationResult
+{
+    std::vector<size_t> columns; ///< chosen configuration columns
+    MeritResult merit;           ///< value and per-workload assignment
+};
+
+/**
+ * Best k-subset of `candidates` (default: all columns) for `merit`.
+ * @param weights optional importance weights (see merit.hh).
+ */
+CombinationResult bestCombination(const PerfMatrix &matrix, size_t k,
+                                  Merit merit,
+                                  const std::vector<size_t> *candidates
+                                      = nullptr,
+                                  const std::vector<double> *weights
+                                      = nullptr);
+
+/** All k-subsets of {0..n-1} (helper; exposed for tests). */
+std::vector<std::vector<size_t>> kSubsets(size_t n, size_t k);
+
+} // namespace xps
+
+#endif // XPS_COMM_COMBINATION_HH

@@ -1,0 +1,124 @@
+#include "comm/experiments.hh"
+
+#include "explore/explorer.hh"
+#include "util/csv.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace xps
+{
+
+const CoreConfig &
+ExperimentContext::configOf(const std::string &name) const
+{
+    for (const auto &cfg : configs) {
+        if (cfg.name == name)
+            return cfg;
+    }
+    fatal("ExperimentContext: no configuration named '%s'",
+          name.c_str());
+}
+
+std::string
+table4CachePath()
+{
+    return Budget::get().resultsDir + "/table4_configs.csv";
+}
+
+std::string
+table5CachePath()
+{
+    return Budget::get().resultsDir + "/table5_matrix.csv";
+}
+
+namespace
+{
+
+ExperimentContext
+computeContext()
+{
+    const Budget &budget = Budget::get();
+    ExperimentContext ctx;
+    ctx.suite = spec2000int();
+
+    CsvDoc table4;
+    bool have_configs = false;
+    if (readCsv(table4CachePath(), table4) &&
+        table4.rows.size() == ctx.suite.size()) {
+        have_configs = true;
+        for (size_t w = 0; w < ctx.suite.size(); ++w) {
+            const CoreConfig cfg =
+                CoreConfig::fromCsvRow(table4.header, table4.rows[w]);
+            if (cfg.name != ctx.suite[w].name) {
+                have_configs = false;
+                break;
+            }
+            ctx.configs.push_back(cfg);
+        }
+        if (!have_configs)
+            ctx.configs.clear();
+    }
+
+    if (!have_configs) {
+        inform("exploring customized configurations "
+               "(%llu iters x %zu workloads, %llu instrs/eval)...",
+               static_cast<unsigned long long>(budget.saIters),
+               ctx.suite.size(),
+               static_cast<unsigned long long>(budget.evalInstrs));
+        ExplorerOptions opts;
+        opts.evalInstrs = budget.evalInstrs;
+        opts.saIters = budget.saIters;
+        opts.threads = budget.threads;
+        opts.finalEvalInstrs = budget.finalInstrs;
+        Explorer explorer(ctx.suite, opts);
+        const auto results = explorer.exploreAll();
+        for (const auto &r : results)
+            ctx.configs.push_back(r.best);
+
+        CsvDoc doc;
+        doc.header = CoreConfig::csvHeader();
+        for (const auto &cfg : ctx.configs)
+            doc.rows.push_back(cfg.toCsvRow());
+        writeCsv(table4CachePath(), doc);
+        inform("cached customized configurations at %s",
+               table4CachePath().c_str());
+    }
+
+    CsvDoc table5;
+    bool have_matrix = false;
+    if (readCsv(table5CachePath(), table5) &&
+        table5.rows.size() == ctx.suite.size()) {
+        ctx.matrix = PerfMatrix::fromCsv(table5.header, table5.rows);
+        have_matrix = true;
+    }
+
+    if (!have_matrix) {
+        inform("building cross-configuration matrix "
+               "(%zu x %zu, %llu instrs/eval)...",
+               ctx.suite.size(), ctx.suite.size(),
+               static_cast<unsigned long long>(budget.finalInstrs));
+        ctx.matrix = PerfMatrix::build(ctx.suite, ctx.configs,
+                                       budget.finalInstrs,
+                                       budget.threads);
+        CsvDoc doc;
+        doc.header.push_back("workload");
+        for (const auto &name : ctx.matrix.names())
+            doc.header.push_back(name);
+        doc.rows = ctx.matrix.toCsvRows();
+        writeCsv(table5CachePath(), doc);
+        inform("cached cross-configuration matrix at %s",
+               table5CachePath().c_str());
+    }
+    return ctx;
+}
+
+} // namespace
+
+const ExperimentContext &
+experimentContext()
+{
+    static const ExperimentContext ctx = computeContext();
+    return ctx;
+}
+
+} // namespace xps

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Shared experiment context for the bench harnesses: the customized
+ * configurations of the SPEC2000int suite (Table 4) and the
+ * cross-configuration IPT matrix (Table 5) are computed once and
+ * cached as CSV under $XPS_RESULTS_DIR (default ./results), so that
+ * every bench binary can be run independently, in any order, and the
+ * whole suite costs one exploration (DESIGN.md §5.5).
+ */
+
+#ifndef XPS_COMM_EXPERIMENTS_HH
+#define XPS_COMM_EXPERIMENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "comm/perf_matrix.hh"
+#include "sim/config.hh"
+#include "workload/profile.hh"
+
+namespace xps
+{
+
+/** Everything the §5 analyses need. */
+struct ExperimentContext
+{
+    std::vector<WorkloadProfile> suite; ///< the 11 profiles
+    std::vector<CoreConfig> configs;    ///< customized, suite order
+    PerfMatrix matrix;                  ///< Table 5 (final-length runs)
+
+    /** Convenience: configuration of a named workload. */
+    const CoreConfig &configOf(const std::string &name) const;
+};
+
+/**
+ * Load the cached context, or compute it (exploration + matrix) under
+ * the Budget env knobs and cache it.
+ */
+const ExperimentContext &experimentContext();
+
+/** Paths of the cache files under the current results dir. */
+std::string table4CachePath();
+std::string table5CachePath();
+
+} // namespace xps
+
+#endif // XPS_COMM_EXPERIMENTS_HH

@@ -1,0 +1,263 @@
+#include "comm/job_sim.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace xps
+{
+
+const char *
+dispatchPolicyName(DispatchPolicy policy)
+{
+    switch (policy) {
+      case DispatchPolicy::StallForAssigned: return "stall-for-assigned";
+      case DispatchPolicy::BestAvailable: return "best-available";
+    }
+    return "?";
+}
+
+std::vector<size_t>
+bindWorkloadsToCores(const PerfMatrix &matrix,
+                     const std::vector<size_t> &cores)
+{
+    if (cores.empty())
+        fatal("bindWorkloadsToCores: no cores");
+    std::vector<size_t> out(matrix.size(), 0);
+    for (size_t w = 0; w < matrix.size(); ++w) {
+        size_t best = 0;
+        for (size_t k = 1; k < cores.size(); ++k) {
+            if (matrix.ipt(w, cores[k]) > matrix.ipt(w, cores[best]))
+                best = k;
+        }
+        out[w] = best;
+    }
+    return out;
+}
+
+std::vector<size_t>
+bindWorkloadsBalanced(const PerfMatrix &matrix,
+                      const std::vector<size_t> &cores,
+                      const std::vector<double> &mix_weights)
+{
+    const size_t n = matrix.size();
+    if (cores.empty())
+        fatal("bindWorkloadsBalanced: no cores");
+    if (!mix_weights.empty() && mix_weights.size() != n)
+        fatal("bindWorkloadsBalanced: weight count mismatch");
+
+    // Load contribution of workload w on core k, per unit of work:
+    // arrival share / IPT. Sort workloads by their best-case load
+    // (longest processing time first), then greedily place each on
+    // the core with the smallest resulting total load.
+    std::vector<size_t> order(n);
+    for (size_t w = 0; w < n; ++w)
+        order[w] = w;
+    auto share = [&](size_t w) {
+        return mix_weights.empty() ? 1.0 : mix_weights[w];
+    };
+    auto best_service = [&](size_t w) {
+        double best = 0.0;
+        for (size_t k : cores)
+            best = std::max(best, matrix.ipt(w, k));
+        return share(w) / best;
+    };
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return best_service(a) > best_service(b);
+    });
+
+    std::vector<double> load(cores.size(), 0.0);
+    std::vector<size_t> binding(n, 0);
+    for (size_t w : order) {
+        size_t best = 0;
+        double best_load = 0.0;
+        for (size_t k = 0; k < cores.size(); ++k) {
+            const double new_load =
+                load[k] + share(w) / matrix.ipt(w, cores[k]);
+            if (k == 0 || new_load < best_load) {
+                best = k;
+                best_load = new_load;
+            }
+        }
+        binding[w] = best;
+        load[best] = best_load;
+    }
+    return binding;
+}
+
+namespace
+{
+
+struct Job
+{
+    double arrivalNs = 0.0;
+    size_t workload = 0;
+};
+
+} // namespace
+
+JobStreamResult
+simulateJobStream(const PerfMatrix &matrix,
+                  const std::vector<size_t> &cores,
+                  const std::vector<size_t> &assigned_core,
+                  DispatchPolicy policy, const JobStreamConfig &cfg)
+{
+    const size_t n = matrix.size();
+    if (cores.empty())
+        fatal("simulateJobStream: no cores");
+    for (size_t c : cores) {
+        if (c >= n)
+            fatal("simulateJobStream: core column out of range");
+    }
+    if (policy == DispatchPolicy::StallForAssigned) {
+        if (assigned_core.size() != n)
+            fatal("simulateJobStream: need one assigned core per "
+                  "workload");
+        for (size_t k : assigned_core) {
+            if (k >= cores.size())
+                fatal("simulateJobStream: assigned core out of range");
+        }
+    }
+    if (cfg.jobs == 0 || cfg.jobInstrs == 0 ||
+        cfg.meanInterarrivalNs <= 0.0 || cfg.burstiness < 1.0) {
+        fatal("simulateJobStream: bad stream parameters");
+    }
+    if (!cfg.mixWeights.empty() && cfg.mixWeights.size() != n)
+        fatal("simulateJobStream: mix weight count mismatch");
+
+    Rng rng(cfg.seed);
+
+    // Generate arrivals: bursts of geometric size separated by
+    // exponential gaps, scaled to keep the mean arrival rate equal
+    // across burstiness levels.
+    std::vector<Job> jobs;
+    jobs.reserve(cfg.jobs);
+    double now = 0.0;
+    double mix_total = 0.0;
+    for (size_t w = 0; w < n; ++w) {
+        mix_total +=
+            cfg.mixWeights.empty() ? 1.0 : cfg.mixWeights[w];
+    }
+    auto draw_workload = [&]() -> size_t {
+        double pick = rng.uniform() * mix_total;
+        for (size_t w = 0; w < n; ++w) {
+            pick -= cfg.mixWeights.empty() ? 1.0 : cfg.mixWeights[w];
+            if (pick <= 0.0)
+                return w;
+        }
+        return n - 1;
+    };
+    while (jobs.size() < cfg.jobs) {
+        // Mean burst size b at gap b*meanInterarrival preserves rate.
+        const uint64_t burst = 1 + rng.geometric(
+            1.0 / std::max(1.0, cfg.burstiness));
+        double u = rng.uniform();
+        if (u <= 0.0)
+            u = 1e-12;
+        now += -std::log(u) * cfg.meanInterarrivalNs *
+               static_cast<double>(burst);
+        for (uint64_t b = 0; b < burst && jobs.size() < cfg.jobs; ++b)
+            jobs.push_back(Job{now, draw_workload()});
+    }
+
+    auto service_ns = [&](size_t workload, size_t core_idx) {
+        const double ipt = matrix.ipt(workload, cores[core_idx]);
+        if (ipt <= 0.0)
+            fatal("simulateJobStream: non-positive IPT");
+        return static_cast<double>(cfg.jobInstrs) / ipt;
+    };
+
+    std::vector<double> core_free(cores.size(), 0.0);
+    std::vector<double> core_busy(cores.size(), 0.0);
+    double wait_sum = 0.0, service_sum = 0.0, turnaround_sum = 0.0;
+    double max_queue = 0.0;
+    double makespan = 0.0;
+
+    if (policy == DispatchPolicy::StallForAssigned) {
+        // Per-core FIFO: jobs are pre-bound, so each core's queue can
+        // be served independently in arrival order.
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            const Job &job = jobs[i];
+            const size_t k = assigned_core[job.workload];
+            const double start = std::max(job.arrivalNs, core_free[k]);
+            const double svc = service_ns(job.workload, k);
+            core_free[k] = start + svc;
+            core_busy[k] += svc;
+            wait_sum += start - job.arrivalNs;
+            service_sum += svc;
+            turnaround_sum += core_free[k] - job.arrivalNs;
+            makespan = std::max(makespan, core_free[k]);
+        }
+    } else {
+        // BestAvailable: global FIFO of jobs; a job takes the best
+        // core among those free at its dispatch time.
+        std::vector<Job> pending;
+        size_t next = 0;
+        while (next < jobs.size() || !pending.empty()) {
+            // Advance: the decision instant is either the next
+            // arrival or the earliest core-free time, whichever lets
+            // the oldest pending job start.
+            if (pending.empty()) {
+                pending.push_back(jobs[next]);
+                now = jobs[next].arrivalNs;
+                ++next;
+            }
+            max_queue = std::max(
+                max_queue, static_cast<double>(pending.size()));
+            // Admit all arrivals up to `now`.
+            while (next < jobs.size() &&
+                   jobs[next].arrivalNs <= now) {
+                pending.push_back(jobs[next]);
+                ++next;
+            }
+            // Free cores at `now`.
+            std::vector<size_t> free_cores;
+            for (size_t k = 0; k < cores.size(); ++k) {
+                if (core_free[k] <= now)
+                    free_cores.push_back(k);
+            }
+            if (free_cores.empty()) {
+                // Jump to the earliest core release.
+                now = *std::min_element(core_free.begin(),
+                                        core_free.end());
+                continue;
+            }
+            // Dispatch the oldest pending job to its best free core.
+            const Job job = pending.front();
+            pending.erase(pending.begin());
+            size_t best = free_cores.front();
+            for (size_t k : free_cores) {
+                if (matrix.ipt(job.workload, cores[k]) >
+                    matrix.ipt(job.workload, cores[best])) {
+                    best = k;
+                }
+            }
+            const double start = std::max(now, job.arrivalNs);
+            const double svc = service_ns(job.workload, best);
+            core_free[best] = start + svc;
+            core_busy[best] += svc;
+            wait_sum += start - job.arrivalNs;
+            service_sum += svc;
+            turnaround_sum += start + svc - job.arrivalNs;
+            makespan = std::max(makespan, start + svc);
+        }
+    }
+
+    JobStreamResult result;
+    const double jobs_d = static_cast<double>(cfg.jobs);
+    result.avgTurnaroundNs = turnaround_sum / jobs_d;
+    result.avgWaitNs = wait_sum / jobs_d;
+    result.avgServiceNs = service_sum / jobs_d;
+    result.maxQueueDepth = max_queue;
+    result.makespanNs = makespan;
+    double busy = 0.0;
+    for (double b : core_busy)
+        busy += b;
+    result.coreUtilization = makespan > 0.0 ?
+        busy / (makespan * static_cast<double>(cores.size())) : 0.0;
+    return result;
+}
+
+} // namespace xps

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Multithreaded-scenario job-stream simulation — the paper's §5.5,
+ * which it defers to future work and we implement as an extension:
+ * jobs drawn from the workload suite arrive at a k-core heterogeneous
+ * CMP (Poisson arrivals with a tunable burst factor) and contend for
+ * cores under one of two policies:
+ *
+ *  - StallForAssigned: each workload type has an assigned core (its
+ *    surrogate); jobs queue FIFO at that core.
+ *  - BestAvailable: a job is dispatched to whichever *free* core runs
+ *    it fastest; if no core is free it waits for the next one.
+ *
+ * Service time of a job = job length (instructions) / IPT(workload,
+ * core) — the cross-configuration matrix supplies the rates, so the
+ * queueing model composes directly with the §5 analyses. The paper
+ * predicts that with Poisson arrivals the surrogate assignment is
+ * near-optimal while increasing burstiness erodes the benefit of
+ * heterogeneity; the sec55 bench reproduces that claim.
+ */
+
+#ifndef XPS_COMM_JOB_SIM_HH
+#define XPS_COMM_JOB_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "comm/perf_matrix.hh"
+
+namespace xps
+{
+
+/** Dispatch policy for arriving jobs (§5.5). */
+enum class DispatchPolicy { StallForAssigned, BestAvailable };
+
+const char *dispatchPolicyName(DispatchPolicy policy);
+
+/** Job-stream parameters. */
+struct JobStreamConfig
+{
+    /** Mean inter-arrival time in ns (exponential between bursts). */
+    double meanInterarrivalNs = 50000.0;
+    /** Mean burst size (geometric); 1.0 = plain Poisson arrivals. */
+    double burstiness = 1.0;
+    /** Number of jobs to simulate. */
+    uint64_t jobs = 2000;
+    /** Instructions per job (service demand). */
+    uint64_t jobInstrs = 100000;
+    /** Workload-mix weights (matrix order); empty = uniform. */
+    std::vector<double> mixWeights;
+    uint64_t seed = 1234;
+};
+
+/** Aggregate outcome of one job-stream simulation. */
+struct JobStreamResult
+{
+    double avgTurnaroundNs = 0.0; ///< wait + service, averaged
+    double avgWaitNs = 0.0;
+    double avgServiceNs = 0.0;
+    double maxQueueDepth = 0.0;
+    double coreUtilization = 0.0; ///< busy time / (makespan * cores)
+    double makespanNs = 0.0;
+};
+
+/**
+ * Simulate a job stream on a CMP built from matrix columns.
+ *
+ * @param matrix cross-configuration IPT matrix
+ * @param cores configuration column of each physical core (a column
+ *        may appear on several cores)
+ * @param assigned_core for StallForAssigned: the core index (into
+ *        `cores`) each workload type is bound to; ignored for
+ *        BestAvailable (may be empty then)
+ */
+JobStreamResult simulateJobStream(const PerfMatrix &matrix,
+                                  const std::vector<size_t> &cores,
+                                  const std::vector<size_t>
+                                      &assigned_core,
+                                  DispatchPolicy policy,
+                                  const JobStreamConfig &cfg);
+
+/**
+ * Bind each workload type to the core whose configuration serves it
+ * best (the natural assignment for a combination-search result).
+ * Ignores load balance — under contention this can overload one core.
+ */
+std::vector<size_t> bindWorkloadsToCores(
+    const PerfMatrix &matrix, const std::vector<size_t> &cores);
+
+/**
+ * Load-balanced binding in the spirit of the paper's BPMST reference
+ * (§5.5): workloads are assigned longest-processing-time first to the
+ * core that minimizes that core's resulting load, with each
+ * workload's load share taken from `mix_weights` (empty = uniform).
+ * Trades a little per-job speed for queueing balance.
+ */
+std::vector<size_t> bindWorkloadsBalanced(
+    const PerfMatrix &matrix, const std::vector<size_t> &cores,
+    const std::vector<double> &mix_weights = {});
+
+} // namespace xps
+
+#endif // XPS_COMM_JOB_SIM_HH

@@ -1,0 +1,92 @@
+#include "comm/merit.hh"
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+const char *
+meritName(Merit merit)
+{
+    switch (merit) {
+      case Merit::Average: return "avg";
+      case Merit::Harmonic: return "har";
+      case Merit::ContentionWeightedHarmonic: return "cw-har";
+    }
+    return "?";
+}
+
+MeritResult
+evaluateCombination(const PerfMatrix &matrix,
+                    const std::vector<size_t> &columns, Merit merit,
+                    const std::vector<double> *weights)
+{
+    const size_t n = matrix.size();
+    if (columns.empty())
+        fatal("evaluateCombination: empty combination");
+    if (weights && weights->size() != n)
+        fatal("evaluateCombination: %zu weights for %zu workloads",
+              weights->size(), n);
+
+    MeritResult result;
+    result.assignment.resize(n);
+    result.perWorkloadIpt.resize(n);
+    for (size_t w = 0; w < n; ++w) {
+        const size_t best = matrix.bestConfigFor(w, columns);
+        result.assignment[w] = best;
+        result.perWorkloadIpt[w] = matrix.ipt(w, best);
+    }
+
+    auto weight = [&](size_t w) {
+        return weights ? (*weights)[w] : 1.0;
+    };
+    double total_weight = 0.0;
+    for (size_t w = 0; w < n; ++w)
+        total_weight += weight(w);
+    if (total_weight <= 0.0)
+        fatal("evaluateCombination: non-positive total weight");
+
+    // Weight mass sharing each chosen core (for contention).
+    std::vector<double> core_mass(n, 0.0);
+    for (size_t w = 0; w < n; ++w)
+        core_mass[result.assignment[w]] += weight(w);
+
+    switch (merit) {
+      case Merit::Average: {
+        double sum = 0.0;
+        for (size_t w = 0; w < n; ++w)
+            sum += weight(w) * result.perWorkloadIpt[w];
+        result.value = sum / total_weight;
+        break;
+      }
+      case Merit::Harmonic: {
+        double inv = 0.0;
+        for (size_t w = 0; w < n; ++w) {
+            if (result.perWorkloadIpt[w] <= 0.0)
+                fatal("evaluateCombination: non-positive IPT");
+            inv += weight(w) / result.perWorkloadIpt[w];
+        }
+        result.value = total_weight / inv;
+        break;
+      }
+      case Merit::ContentionWeightedHarmonic: {
+        double inv = 0.0;
+        for (size_t w = 0; w < n; ++w) {
+            // Contention factor: the weight mass on this core,
+            // normalized so an uncontended core has factor 1.
+            const double share =
+                core_mass[result.assignment[w]] / weight(w);
+            const double effective =
+                result.perWorkloadIpt[w] / share;
+            if (effective <= 0.0)
+                fatal("evaluateCombination: non-positive IPT");
+            inv += weight(w) / effective;
+        }
+        result.value = total_weight / inv;
+        break;
+      }
+    }
+    return result;
+}
+
+} // namespace xps

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Figures of merit for a heterogeneous core combination (paper §5.2):
+ *  - average IPT of each workload on its best available core
+ *    (isolated-submission performance);
+ *  - harmonic-mean IPT (total execution time of a benchmark series);
+ *  - contention-weighted harmonic-mean IPT: each workload's IPT is
+ *    divided by the number of workloads sharing its chosen core
+ *    before taking the harmonic mean (concurrent execution with core
+ *    contention).
+ * Workload importance weights (§5.4) are supported everywhere.
+ */
+
+#ifndef XPS_COMM_MERIT_HH
+#define XPS_COMM_MERIT_HH
+
+#include <string>
+#include <vector>
+
+#include "comm/perf_matrix.hh"
+
+namespace xps
+{
+
+/** The three design goals of §5.2. */
+enum class Merit
+{
+    Average,
+    Harmonic,
+    ContentionWeightedHarmonic,
+};
+
+/** Short name used in tables ("avg", "har", "cw-har"). */
+const char *meritName(Merit merit);
+
+/** Outcome of evaluating one core combination. */
+struct MeritResult
+{
+    double value = 0.0;
+    /** Chosen column (configuration) per workload, in matrix order. */
+    std::vector<size_t> assignment;
+    /** Raw IPT of each workload on its chosen core. */
+    std::vector<double> perWorkloadIpt;
+};
+
+/**
+ * Evaluate a combination of configurations (matrix columns): every
+ * workload runs on whichever of the given columns maximizes its IPT,
+ * and the figure of merit aggregates the result.
+ *
+ * @param weights optional importance weights (matrix order); defaults
+ *        to all-equal. Weighted average is the weighted mean;
+ *        weighted harmonic uses the weights as time shares;
+ *        contention counts use weight mass per core.
+ */
+MeritResult evaluateCombination(const PerfMatrix &matrix,
+                                const std::vector<size_t> &columns,
+                                Merit merit,
+                                const std::vector<double> *weights
+                                    = nullptr);
+
+} // namespace xps
+
+#endif // XPS_COMM_MERIT_HH

@@ -1,0 +1,146 @@
+#include "comm/perf_matrix.hh"
+
+#include <atomic>
+#include <cstdlib>
+#include <thread>
+
+#include "sim/simulator.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace xps
+{
+
+PerfMatrix::PerfMatrix(std::vector<std::string> names,
+                       std::vector<std::vector<double>> ipt)
+    : names_(std::move(names)), ipt_(std::move(ipt))
+{
+    if (ipt_.size() != names_.size())
+        fatal("PerfMatrix: %zu rows for %zu names",
+              ipt_.size(), names_.size());
+    for (const auto &row : ipt_) {
+        if (row.size() != names_.size())
+            fatal("PerfMatrix: non-square matrix");
+    }
+}
+
+PerfMatrix
+PerfMatrix::build(const std::vector<WorkloadProfile> &suite,
+                  const std::vector<CoreConfig> &configs,
+                  uint64_t instrs, int threads)
+{
+    if (suite.size() != configs.size())
+        fatal("PerfMatrix::build: %zu workloads vs %zu configs",
+              suite.size(), configs.size());
+    const size_t n = suite.size();
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (const auto &p : suite)
+        names.push_back(p.name);
+
+    std::vector<std::vector<double>> ipt(n, std::vector<double>(n, 0.0));
+    std::atomic<size_t> next{0};
+    auto worker = [&]() {
+        for (size_t idx = next.fetch_add(1); idx < n * n;
+             idx = next.fetch_add(1)) {
+            const size_t w = idx / n;
+            const size_t c = idx % n;
+            SimOptions opts;
+            opts.measureInstrs = instrs;
+            ipt[w][c] = simulate(suite[w], configs[c], opts).ipt();
+        }
+    };
+    std::vector<std::thread> pool;
+    const int nthreads = std::max(1, threads);
+    pool.reserve(static_cast<size_t>(nthreads));
+    for (int t = 0; t < nthreads; ++t)
+        pool.emplace_back(worker);
+    for (auto &t : pool)
+        t.join();
+
+    return PerfMatrix(std::move(names), std::move(ipt));
+}
+
+double
+PerfMatrix::ipt(size_t w, size_t c) const
+{
+    if (w >= size() || c >= size())
+        fatal("PerfMatrix::ipt(%zu, %zu) out of range", w, c);
+    return ipt_[w][c];
+}
+
+double
+PerfMatrix::slowdown(size_t w, size_t c) const
+{
+    const double own = ownIpt(w);
+    if (own <= 0.0)
+        fatal("PerfMatrix: non-positive own IPT for %s",
+              names_[w].c_str());
+    return 1.0 - ipt(w, c) / own;
+}
+
+size_t
+PerfMatrix::index(const std::string &name) const
+{
+    for (size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            return i;
+    }
+    fatal("PerfMatrix: unknown workload '%s'", name.c_str());
+}
+
+size_t
+PerfMatrix::bestConfigFor(size_t w,
+                          const std::vector<size_t> &columns) const
+{
+    if (columns.empty())
+        fatal("PerfMatrix::bestConfigFor: empty column subset");
+    size_t best = columns.front();
+    for (size_t c : columns) {
+        if (ipt(w, c) > ipt(w, best))
+            best = c;
+    }
+    return best;
+}
+
+std::vector<std::vector<std::string>>
+PerfMatrix::toCsvRows() const
+{
+    std::vector<std::vector<std::string>> rows;
+    rows.reserve(size());
+    for (size_t w = 0; w < size(); ++w) {
+        std::vector<std::string> row;
+        row.push_back(names_[w]);
+        for (size_t c = 0; c < size(); ++c)
+            row.push_back(formatDouble(ipt_[w][c], 6));
+        rows.push_back(std::move(row));
+    }
+    return rows;
+}
+
+PerfMatrix
+PerfMatrix::fromCsv(const std::vector<std::string> &header,
+                    const std::vector<std::vector<std::string>> &rows)
+{
+    if (header.size() != rows.size() + 1)
+        fatal("PerfMatrix::fromCsv: %zu header cols for %zu rows",
+              header.size(), rows.size());
+    std::vector<std::string> names(header.begin() + 1, header.end());
+    std::vector<std::vector<double>> ipt;
+    ipt.reserve(rows.size());
+    for (size_t w = 0; w < rows.size(); ++w) {
+        if (rows[w].size() != header.size())
+            fatal("PerfMatrix::fromCsv: ragged row");
+        if (rows[w][0] != names[w])
+            fatal("PerfMatrix::fromCsv: row order mismatch (%s vs %s)",
+                  rows[w][0].c_str(), names[w].c_str());
+        std::vector<double> vals;
+        vals.reserve(names.size());
+        for (size_t c = 1; c < rows[w].size(); ++c)
+            vals.push_back(std::atof(rows[w][c].c_str()));
+        ipt.push_back(std::move(vals));
+    }
+    return PerfMatrix(std::move(names), std::move(ipt));
+}
+
+} // namespace xps

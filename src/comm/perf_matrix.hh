@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cross-configuration performance: every workload evaluated on every
+ * customized configuration — the paper's Table 5 (IPT) and Appendix A
+ * (percentage slowdown versus the workload's own customized
+ * configuration). This matrix is the substrate of every communal-
+ * customization analysis in §5.
+ */
+
+#ifndef XPS_COMM_PERF_MATRIX_HH
+#define XPS_COMM_PERF_MATRIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workload/profile.hh"
+
+namespace xps
+{
+
+/**
+ * IPT of workload w (row) on configuration c (column). Rows and
+ * columns are indexed identically: column c is the configuration
+ * customized for workload c.
+ */
+class PerfMatrix
+{
+  public:
+    PerfMatrix() = default;
+
+    /**
+     * Build by simulating every (workload, configuration) pair.
+     * @param suite the workloads (rows)
+     * @param configs one customized configuration per workload, in
+     *        suite order (columns)
+     * @param instrs instructions per evaluation
+     * @param threads worker threads
+     */
+    static PerfMatrix build(const std::vector<WorkloadProfile> &suite,
+                            const std::vector<CoreConfig> &configs,
+                            uint64_t instrs, int threads = 2);
+
+    /** Construct from precomputed values (row-major). */
+    PerfMatrix(std::vector<std::string> names,
+               std::vector<std::vector<double>> ipt);
+
+    size_t size() const { return names_.size(); }
+    const std::vector<std::string> &names() const { return names_; }
+
+    /** IPT of workload `w` on configuration `c`. */
+    double ipt(size_t w, size_t c) const;
+
+    /** IPT of workload `w` on its own customized configuration. */
+    double ownIpt(size_t w) const { return ipt(w, w); }
+
+    /** Fractional slowdown of workload `w` on configuration `c`
+     *  versus its own configuration (Appendix A): 1 - ipt/own. */
+    double slowdown(size_t w, size_t c) const;
+
+    /** Index of a workload name; fatal if absent. */
+    size_t index(const std::string &name) const;
+
+    /** Best configuration (column) for workload `w` within a subset
+     *  of columns; fatal on empty subset. */
+    size_t bestConfigFor(size_t w,
+                         const std::vector<size_t> &columns) const;
+
+    /** Serialize / deserialize for result caching. */
+    std::vector<std::vector<std::string>> toCsvRows() const;
+    static PerfMatrix fromCsv(
+        const std::vector<std::string> &header,
+        const std::vector<std::vector<std::string>> &rows);
+
+  private:
+    std::vector<std::string> names_;
+    std::vector<std::vector<double>> ipt_; ///< [row=workload][col=config]
+};
+
+} // namespace xps
+
+#endif // XPS_COMM_PERF_MATRIX_HH

@@ -1,0 +1,181 @@
+#include "comm/subsetting.hh"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/stats_util.hh"
+#include "util/table.hh"
+
+namespace xps
+{
+
+Dendrogram
+Dendrogram::build(const std::vector<std::vector<double>> &points,
+                  const std::vector<std::string> &names)
+{
+    if (points.size() != names.size())
+        fatal("Dendrogram::build: %zu points for %zu names",
+              points.size(), names.size());
+    if (points.size() < 2)
+        fatal("Dendrogram::build: need at least two points");
+
+    Dendrogram out;
+    out.names_ = names;
+    out.n_ = points.size();
+
+    const size_t n = points.size();
+    // Active clusters: id -> member point indices. Leaf ids 0..n-1,
+    // merged ids n, n+1, ...
+    std::vector<std::vector<size_t>> members(n);
+    std::vector<int> active;
+    for (size_t i = 0; i < n; ++i) {
+        members[i] = {i};
+        active.push_back(static_cast<int>(i));
+    }
+
+    auto linkage = [&](const std::vector<size_t> &a,
+                       const std::vector<size_t> &b) {
+        // Average linkage over the raw pairwise distances.
+        double sum = 0.0;
+        for (size_t i : a) {
+            for (size_t j : b)
+                sum += euclideanDistance(points[i], points[j]);
+        }
+        return sum / static_cast<double>(a.size() * b.size());
+    };
+
+    int next_id = static_cast<int>(n);
+    while (active.size() > 1) {
+        double best = std::numeric_limits<double>::infinity();
+        size_t bi = 0, bj = 1;
+        for (size_t i = 0; i < active.size(); ++i) {
+            for (size_t j = i + 1; j < active.size(); ++j) {
+                const double d = linkage(members[active[i]],
+                                         members[active[j]]);
+                if (d < best) {
+                    best = d;
+                    bi = i;
+                    bj = j;
+                }
+            }
+        }
+        Merge merge;
+        merge.a = active[bi];
+        merge.b = active[bj];
+        merge.dist = best;
+        merge.id = next_id++;
+        out.merges_.push_back(merge);
+
+        std::vector<size_t> joined = members[merge.a];
+        joined.insert(joined.end(), members[merge.b].begin(),
+                      members[merge.b].end());
+        members.push_back(std::move(joined));
+        // Remove bj first (larger index), then bi.
+        active.erase(active.begin() + static_cast<long>(bj));
+        active.erase(active.begin() + static_cast<long>(bi));
+        active.push_back(merge.id);
+    }
+    return out;
+}
+
+std::vector<std::vector<size_t>>
+Dendrogram::cut(size_t k) const
+{
+    if (k == 0 || k > n_)
+        fatal("Dendrogram::cut: k=%zu out of range (n=%zu)", k, n_);
+    // Apply the first n-k merges with a union-find.
+    std::vector<int> rep(n_);
+    for (size_t i = 0; i < n_; ++i)
+        rep[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+        while (rep[static_cast<size_t>(x)] != x)
+            x = rep[static_cast<size_t>(x)] =
+                rep[static_cast<size_t>(rep[static_cast<size_t>(x)])];
+        return x;
+    };
+    // Map merged-cluster ids to one of their leaves.
+    std::vector<int> leaf_of(n_ + merges_.size());
+    for (size_t i = 0; i < n_; ++i)
+        leaf_of[i] = static_cast<int>(i);
+    const size_t steps = n_ - k;
+    for (size_t s = 0; s < merges_.size(); ++s) {
+        const Merge &m = merges_[s];
+        const int la = leaf_of[static_cast<size_t>(m.a)];
+        const int lb = leaf_of[static_cast<size_t>(m.b)];
+        leaf_of[static_cast<size_t>(m.id)] = la;
+        if (s < steps)
+            rep[static_cast<size_t>(find(lb))] = find(la);
+    }
+    std::vector<std::vector<size_t>> clusters;
+    std::vector<int> root_index(n_, -1);
+    for (size_t i = 0; i < n_; ++i) {
+        const int root = find(static_cast<int>(i));
+        if (root_index[static_cast<size_t>(root)] < 0) {
+            root_index[static_cast<size_t>(root)] =
+                static_cast<int>(clusters.size());
+            clusters.emplace_back();
+        }
+        clusters[static_cast<size_t>(
+            root_index[static_cast<size_t>(root)])].push_back(i);
+    }
+    return clusters;
+}
+
+std::string
+Dendrogram::render() const
+{
+    std::ostringstream out;
+    auto label = [&](int id) -> std::string {
+        if (id < static_cast<int>(n_))
+            return names_[static_cast<size_t>(id)];
+        return "C" + std::to_string(id);
+    };
+    for (const auto &m : merges_) {
+        out << "  C" << m.id << " = {" << label(m.a) << ", "
+            << label(m.b) << "}  at distance "
+            << formatDouble(m.dist, 3) << "\n";
+    }
+    return out.str();
+}
+
+size_t
+medoidOf(const std::vector<std::vector<double>> &points,
+         const std::vector<size_t> &cluster)
+{
+    if (cluster.empty())
+        fatal("medoidOf: empty cluster");
+    size_t best = cluster.front();
+    double best_sum = std::numeric_limits<double>::infinity();
+    for (size_t i : cluster) {
+        double sum = 0.0;
+        for (size_t j : cluster)
+            sum += euclideanDistance(points[i], points[j]);
+        if (sum < best_sum) {
+            best_sum = sum;
+            best = i;
+        }
+    }
+    return best;
+}
+
+std::vector<size_t>
+selectRepresentatives(const std::vector<std::vector<double>> &raw_features,
+                      size_t k)
+{
+    std::vector<std::vector<double>> normalized = raw_features;
+    normalizeColumns(normalized, 1.0);
+    std::vector<std::string> names(raw_features.size());
+    for (size_t i = 0; i < names.size(); ++i)
+        names[i] = "p" + std::to_string(i);
+    const Dendrogram dendro = Dendrogram::build(normalized, names);
+    std::vector<size_t> reps;
+    for (const auto &cluster : dendro.cut(k))
+        reps.push_back(medoidOf(normalized, cluster));
+    std::sort(reps.begin(), reps.end());
+    return reps;
+}
+
+} // namespace xps

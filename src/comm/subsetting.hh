@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Workload subsetting by raw-characteristic similarity — the baseline
+ * the paper argues against (§2.1, §5.3). Workloads are embedded in a
+ * normalized characteristic space, clustered agglomeratively
+ * (average linkage) on Euclidean distance, and each cluster is
+ * reduced to its medoid representative. The dendrogram rendering
+ * mirrors how the subsetting literature presents similarity.
+ */
+
+#ifndef XPS_COMM_SUBSETTING_HH
+#define XPS_COMM_SUBSETTING_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xps
+{
+
+/** Agglomerative-clustering dendrogram over named points. */
+class Dendrogram
+{
+  public:
+    /** One merge step: clusters `a` and `b` (ids) joined at `dist`. */
+    struct Merge
+    {
+        int a = 0;
+        int b = 0;
+        double dist = 0.0;
+        int id = 0; ///< id of the merged cluster (n + step index)
+    };
+
+    /**
+     * Build by average-linkage agglomeration of Euclidean distances.
+     * @param points normalized feature vectors
+     * @param names one name per point
+     */
+    static Dendrogram build(
+        const std::vector<std::vector<double>> &points,
+        const std::vector<std::string> &names);
+
+    /** Cut into k clusters (undo the last k-1 merges). Each cluster
+     *  lists point indices. */
+    std::vector<std::vector<size_t>> cut(size_t k) const;
+
+    /** ASCII rendering (merge list with heights). */
+    std::string render() const;
+
+    const std::vector<Merge> &merges() const { return merges_; }
+    const std::vector<std::string> &names() const { return names_; }
+
+  private:
+    std::vector<Merge> merges_;
+    std::vector<std::string> names_;
+    size_t n_ = 0;
+};
+
+/**
+ * Medoid of a cluster: the member minimizing the summed Euclidean
+ * distance to the other members (the cluster's representative
+ * workload in the subsetting methodology).
+ */
+size_t medoidOf(const std::vector<std::vector<double>> &points,
+                const std::vector<size_t> &cluster);
+
+/**
+ * Full subsetting pipeline: normalize features column-wise, cluster,
+ * cut at k, return the representative (medoid) of each cluster.
+ */
+std::vector<size_t> selectRepresentatives(
+    const std::vector<std::vector<double>> &raw_features, size_t k);
+
+} // namespace xps
+
+#endif // XPS_COMM_SUBSETTING_HH

@@ -1,0 +1,234 @@
+#include "comm/surrogate.hh"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/stats_util.hh"
+#include "util/table.hh"
+
+namespace xps
+{
+
+const char *
+propagationName(Propagation prop)
+{
+    switch (prop) {
+      case Propagation::None: return "none";
+      case Propagation::Forward: return "forward";
+      case Propagation::Full: return "full";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr size_t kNone = std::numeric_limits<size_t>::max();
+
+/** Walk the parent chain from `w`; returns the chain root, or the
+ *  first repeated node when the walk closes a cycle (cycle flag set). */
+size_t
+chainEnd(const std::vector<size_t> &parent, size_t w, bool &cycle)
+{
+    size_t slow = w, fast = w;
+    cycle = false;
+    while (true) {
+        if (parent[fast] == kNone)
+            return fast;
+        fast = parent[fast];
+        if (parent[fast] == kNone)
+            return fast;
+        fast = parent[fast];
+        slow = parent[slow];
+        if (slow == fast) {
+            cycle = true;
+            return slow; // some node on the cycle
+        }
+    }
+}
+
+/** All members of the cycle containing `on_cycle`. */
+std::vector<size_t>
+cycleMembers(const std::vector<size_t> &parent, size_t on_cycle)
+{
+    std::vector<size_t> members{on_cycle};
+    for (size_t v = parent[on_cycle]; v != on_cycle; v = parent[v])
+        members.push_back(v);
+    return members;
+}
+
+/** Resolve every workload to the architecture column it runs on. */
+std::vector<size_t>
+resolveAll(const PerfMatrix &matrix, const std::vector<size_t> &parent)
+{
+    const size_t n = matrix.size();
+    std::vector<size_t> resolved(n, kNone);
+
+    // First pass: chain roots and cycle groups.
+    // Map: cycle-anchor -> members of the whole group (for rep pick).
+    std::vector<size_t> anchor(n, kNone);
+    for (size_t w = 0; w < n; ++w) {
+        bool cycle = false;
+        anchor[w] = chainEnd(parent, w, cycle);
+        if (!cycle)
+            resolved[w] = anchor[w];
+    }
+    // Cycle anchors may differ per entry point; canonicalize to the
+    // smallest index on the cycle.
+    for (size_t w = 0; w < n; ++w) {
+        if (resolved[w] != kNone)
+            continue;
+        const auto members = cycleMembers(parent, anchor[w]);
+        anchor[w] = *std::min_element(members.begin(), members.end());
+    }
+    // Pick each cycle's representative: the member whose architecture
+    // maximizes the group's harmonic-mean IPT.
+    for (size_t w = 0; w < n; ++w) {
+        if (resolved[w] != kNone)
+            continue;
+        const size_t a = anchor[w];
+        std::vector<size_t> group;
+        for (size_t v = 0; v < n; ++v) {
+            if (resolved[v] == kNone && anchor[v] == a)
+                group.push_back(v);
+        }
+        const auto members = cycleMembers(parent, a);
+        size_t best_rep = members.front();
+        double best_har = -1.0;
+        for (size_t rep : members) {
+            std::vector<double> ipts;
+            ipts.reserve(group.size());
+            for (size_t v : group)
+                ipts.push_back(matrix.ipt(v, rep));
+            const double har = harmonicMean(ipts);
+            if (har > best_har) {
+                best_har = har;
+                best_rep = rep;
+            }
+        }
+        for (size_t v : group)
+            resolved[v] = best_rep;
+    }
+    return resolved;
+}
+
+} // namespace
+
+SurrogateGraph
+greedySurrogates(const PerfMatrix &matrix, Propagation policy,
+                 size_t stop_at_roots)
+{
+    const size_t n = matrix.size();
+    std::vector<size_t> parent(n, kNone);
+    std::vector<int> provides(n, 0);
+
+    SurrogateGraph graph;
+    graph.policy = policy;
+
+    auto legal = [&](size_t b, size_t s) {
+        if (b == s || parent[b] != kNone)
+            return false;
+        switch (policy) {
+          case Propagation::None:
+            return provides[b] == 0 && parent[s] == kNone;
+          case Propagation::Forward:
+            return parent[s] == kNone;
+          case Propagation::Full:
+            return true;
+        }
+        return false;
+    };
+
+    auto count_roots = [&]() {
+        const auto resolved = resolveAll(matrix, parent);
+        std::vector<size_t> roots(resolved);
+        std::sort(roots.begin(), roots.end());
+        roots.erase(std::unique(roots.begin(), roots.end()),
+                    roots.end());
+        return roots;
+    };
+
+    int order = 0;
+    while (true) {
+        if (stop_at_roots > 0 && count_roots().size() <= stop_at_roots)
+            break;
+        // Find the legal pair with the least direct slowdown.
+        size_t best_b = kNone, best_s = kNone;
+        double best_slow = std::numeric_limits<double>::infinity();
+        for (size_t b = 0; b < n; ++b) {
+            for (size_t s = 0; s < n; ++s) {
+                if (!legal(b, s))
+                    continue;
+                const double slow = matrix.slowdown(b, s);
+                if (slow < best_slow) {
+                    best_slow = slow;
+                    best_b = b;
+                    best_s = s;
+                }
+            }
+        }
+        if (best_b == kNone)
+            break; // exhaustion
+
+        parent[best_b] = best_s;
+        ++provides[best_s];
+
+        SurrogateEdge edge;
+        edge.benchmark = best_b;
+        edge.surrogate = best_s;
+        edge.order = ++order;
+        edge.slowdown = best_slow;
+        bool cycle = false;
+        chainEnd(parent, best_b, cycle);
+        edge.feedback = cycle;
+        graph.edges.push_back(edge);
+    }
+
+    graph.resolved = resolveAll(matrix, parent);
+    graph.roots = count_roots();
+
+    std::vector<double> ipts, slows;
+    ipts.reserve(n);
+    slows.reserve(n);
+    for (size_t w = 0; w < n; ++w) {
+        ipts.push_back(matrix.ipt(w, graph.resolved[w]));
+        slows.push_back(matrix.slowdown(w, graph.resolved[w]));
+    }
+    graph.harmonicIpt = harmonicMean(ipts);
+    graph.avgSlowdown = mean(slows);
+    return graph;
+}
+
+std::string
+SurrogateGraph::render(const PerfMatrix &matrix) const
+{
+    std::ostringstream out;
+    out << "propagation policy: " << propagationName(policy) << "\n";
+    for (const auto &edge : edges) {
+        out << "  " << edge.order << ". "
+            << matrix.names()[edge.benchmark] << " <- arch("
+            << matrix.names()[edge.surrogate] << ")  slowdown "
+            << formatDouble(100.0 * edge.slowdown, 1) << "%"
+            << (edge.feedback ? "  [feedback]" : "") << "\n";
+    }
+    out << "cores:";
+    for (size_t root : roots) {
+        out << "  arch(" << matrix.names()[root] << ") <- {";
+        bool first = true;
+        for (size_t w = 0; w < resolved.size(); ++w) {
+            if (resolved[w] != root)
+                continue;
+            out << (first ? "" : ", ") << matrix.names()[w];
+            first = false;
+        }
+        out << "}";
+    }
+    out << "\nharmonic-mean IPT " << formatDouble(harmonicIpt, 2)
+        << ", average slowdown "
+        << formatDouble(100.0 * avgSlowdown, 1) << "%\n";
+    return out.str();
+}
+
+} // namespace xps

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Greedy surrogate assignment (paper §5.4, Figures 5-8): repeatedly
+ * give a benchmark the customized architecture of another benchmark
+ * (its *surrogate*), choosing at each step the legal pair with the
+ * least cross-configuration slowdown (Appendix A), under one of three
+ * propagation policies:
+ *
+ *  - None: a benchmark that provides its architecture to others may
+ *    not itself receive a surrogate (no forward propagation), and a
+ *    benchmark that has a surrogate may not provide its architecture
+ *    to others (no backward propagation). Terminates when no legal
+ *    pair remains (Figure 6).
+ *  - Forward: providers may receive surrogates (chains form and
+ *    resolve to the chain root), but assigned benchmarks may not
+ *    become providers (Figure 8).
+ *  - Full: both allowed; mutual assignments create *feedback
+ *    surrogating* cycles which halt further reduction (Figure 7).
+ *
+ * Resolution of a chain/cycle: a workload ultimately runs on the
+ * architecture of its chain root; a cycle's representative is the
+ * cycle member whose architecture maximizes the harmonic-mean IPT of
+ * the whole group (the paper presents the representative without
+ * stating a tie rule; this choice is systematic and documented).
+ */
+
+#ifndef XPS_COMM_SURROGATE_HH
+#define XPS_COMM_SURROGATE_HH
+
+#include <string>
+#include <vector>
+
+#include "comm/perf_matrix.hh"
+
+namespace xps
+{
+
+/** Propagation policy for surrogate assignment. */
+enum class Propagation { None, Forward, Full };
+
+const char *propagationName(Propagation prop);
+
+/** One greedy assignment step: `benchmark` takes `surrogate`'s arch. */
+struct SurrogateEdge
+{
+    size_t benchmark = 0;
+    size_t surrogate = 0;
+    int order = 0;          ///< 1-based assignment order (figure labels)
+    double slowdown = 0.0;  ///< direct Appendix-A slowdown of the pair
+    bool feedback = false;  ///< this edge closed a cycle
+};
+
+/** The reduced surrogating-graph. */
+struct SurrogateGraph
+{
+    Propagation policy = Propagation::None;
+    std::vector<SurrogateEdge> edges; ///< in assignment order
+    /** Resolved architecture (matrix column) each workload runs on. */
+    std::vector<size_t> resolved;
+    /** Remaining architectures (the cores of the resulting CMP). */
+    std::vector<size_t> roots;
+    /** Harmonic-mean IPT of all workloads on their resolved arch. */
+    double harmonicIpt = 0.0;
+    /** Mean fractional slowdown versus each workload's own arch. */
+    double avgSlowdown = 0.0;
+
+    /** Figure-6/7/8-style ASCII rendering of the groups. */
+    std::string render(const PerfMatrix &matrix) const;
+};
+
+/**
+ * Run the greedy assignment to exhaustion.
+ * @param stop_at_roots stop early once the number of remaining root
+ *        architectures reaches this value (0 = run to exhaustion).
+ */
+SurrogateGraph greedySurrogates(const PerfMatrix &matrix,
+                                Propagation policy,
+                                size_t stop_at_roots = 0);
+
+} // namespace xps
+
+#endif // XPS_COMM_SURROGATE_HH

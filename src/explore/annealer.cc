@@ -1,0 +1,82 @@
+#include "explore/annealer.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+Annealer::Annealer(const SearchSpace &space, Objective objective,
+                   AnnealParams params)
+    : space_(space), objective_(std::move(objective)),
+      params_(params)
+{
+    if (params_.iterations == 0)
+        fatal("Annealer: zero iterations");
+    if (params_.initialTemp <= 0.0 ||
+        params_.finalTemp <= 0.0 ||
+        params_.finalTemp > params_.initialTemp) {
+        fatal("Annealer: bad temperature schedule");
+    }
+}
+
+AnnealResult
+Annealer::run(const CoreConfig &start) const
+{
+    Rng rng(params_.seed);
+
+    AnnealResult result;
+    CoreConfig current = start;
+    double cur_score = objective_(current);
+    ++result.evaluations;
+    result.best = current;
+    result.bestScore = cur_score;
+    result.improvementTrace.emplace_back(0, cur_score);
+
+    const double cooling =
+        std::pow(params_.finalTemp / params_.initialTemp,
+                 1.0 / static_cast<double>(params_.iterations));
+    double temp = params_.initialTemp;
+
+    for (uint64_t iter = 1; iter <= params_.iterations; ++iter) {
+        temp *= cooling;
+
+        CoreConfig cand;
+        bool have = false;
+        for (int attempt = 0; attempt < 16 && !have; ++attempt)
+            have = space_.neighbor(current, rng, cand);
+        if (!have)
+            continue; // stuck corner; cool and retry next iteration
+
+        const double cand_score = objective_(cand);
+        ++result.evaluations;
+
+        // Metropolis acceptance on the relative change.
+        const double rel = cur_score > 0.0 ?
+            (cand_score - cur_score) / cur_score : 1.0;
+        const bool accept =
+            rel >= 0.0 || rng.uniform() < std::exp(rel / temp);
+        if (accept) {
+            current = cand;
+            cur_score = cand_score;
+            ++result.accepted;
+        }
+
+        if (cur_score > result.bestScore) {
+            result.best = current;
+            result.bestScore = cur_score;
+            result.improvementTrace.emplace_back(iter, cur_score);
+        }
+
+        // The paper's rollback rule: a walk that has fallen below
+        // half the incumbent is abandoned.
+        if (cur_score < params_.rollbackFraction * result.bestScore) {
+            current = result.best;
+            cur_score = result.bestScore;
+        }
+    }
+    return result;
+}
+
+} // namespace xps

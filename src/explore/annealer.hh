@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Simulated-annealing search over the superscalar design space,
+ * maximizing IPT, with the paper's rollback rule: whenever the
+ * current configuration's IPT drops below half of the incumbent
+ * best's, the walk returns to the incumbent (§3).
+ */
+
+#ifndef XPS_EXPLORE_ANNEALER_HH
+#define XPS_EXPLORE_ANNEALER_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "explore/search_space.hh"
+#include "sim/config.hh"
+
+namespace xps
+{
+
+/** Annealing schedule parameters. */
+struct AnnealParams
+{
+    uint64_t iterations = 260;
+    /** Initial acceptance temperature, as a fraction of the current
+     *  objective (relative scale keeps the schedule workload-
+     *  independent). */
+    double initialTemp = 0.08;
+    double finalTemp = 0.005;
+    uint64_t seed = 1;
+    /** Rollback threshold of the paper: roll back to the incumbent
+     *  when current < threshold * best. */
+    double rollbackFraction = 0.5;
+};
+
+/** Result of one annealing run. */
+struct AnnealResult
+{
+    CoreConfig best;
+    double bestScore = 0.0;
+    uint64_t evaluations = 0;
+    uint64_t accepted = 0;
+    /** (iteration, incumbent score) every time the incumbent improves. */
+    std::vector<std::pair<uint64_t, double>> improvementTrace;
+};
+
+/**
+ * The annealer. The objective is abstract (the Explorer plugs in
+ * cached IPT simulation) so tests can use analytic objectives.
+ */
+class Annealer
+{
+  public:
+    using Objective = std::function<double(const CoreConfig &)>;
+
+    Annealer(const SearchSpace &space, Objective objective,
+             AnnealParams params);
+
+    /** Run from a starting configuration. */
+    AnnealResult run(const CoreConfig &start) const;
+
+  private:
+    const SearchSpace &space_;
+    Objective objective_;
+    AnnealParams params_;
+};
+
+} // namespace xps
+
+#endif // XPS_EXPLORE_ANNEALER_HH

@@ -1,0 +1,183 @@
+#include "explore/explorer.hh"
+
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+namespace
+{
+
+/** Stable cache key over the architectural fields of a config. */
+std::string
+archKey(const CoreConfig &cfg)
+{
+    std::ostringstream key;
+    key << cfg.clockNs << '|' << cfg.width << '|' << cfg.robSize << '|'
+        << cfg.iqSize << '|' << cfg.lsqSize << '|' << cfg.schedDepth
+        << '|' << cfg.lsqDepth << '|' << cfg.l1Sets << '|'
+        << cfg.l1Assoc << '|' << cfg.l1LineBytes << '|' << cfg.l1Cycles
+        << '|' << cfg.l2Sets << '|' << cfg.l2Assoc << '|'
+        << cfg.l2LineBytes << '|' << cfg.l2Cycles;
+    return key.str();
+}
+
+} // namespace
+
+Explorer::Explorer(std::vector<WorkloadProfile> suite,
+                   ExplorerOptions opts, ExploreBounds bounds)
+    : suite_(std::move(suite)), opts_(opts), timing_(),
+      space_(timing_, bounds)
+{
+    if (suite_.empty())
+        fatal("Explorer: empty workload suite");
+    if (opts_.rounds < 1 || opts_.threads < 1)
+        fatal("Explorer: bad options");
+}
+
+double
+Explorer::evaluate(const WorkloadProfile &profile,
+                   const CoreConfig &config, uint64_t instrs)
+{
+    SimOptions opts;
+    opts.measureInstrs = instrs;
+    return simulate(profile, config, opts).ipt();
+}
+
+std::vector<WorkloadResult>
+Explorer::exploreAll()
+{
+    const size_t n = suite_.size();
+    std::vector<WorkloadResult> results(n);
+    std::vector<CoreConfig> current(n, space_.initialConfig());
+    std::vector<double> current_ipt(n, 0.0);
+    // Per-workload evaluation memo (each is touched by one worker at
+    // a time; adoption runs single-threaded between rounds).
+    std::vector<std::unordered_map<std::string, double>> memo(n);
+    std::vector<std::atomic<uint64_t>> evals(n);
+    for (auto &e : evals)
+        e.store(0);
+
+    const uint64_t iters_per_round =
+        std::max<uint64_t>(1, opts_.saIters /
+                              static_cast<uint64_t>(opts_.rounds));
+
+    auto cached_eval = [&](size_t w, const CoreConfig &cfg) {
+        auto &m = memo[w];
+        const std::string key = archKey(cfg);
+        const auto it = m.find(key);
+        if (it != m.end())
+            return it->second;
+        const double ipt = evaluate(suite_[w], cfg, opts_.evalInstrs);
+        evals[w].fetch_add(1, std::memory_order_relaxed);
+        m.emplace(key, ipt);
+        return ipt;
+    };
+
+    for (int round = 0; round < opts_.rounds; ++round) {
+        std::atomic<size_t> next{0};
+        auto worker = [&]() {
+            for (size_t w = next.fetch_add(1); w < n;
+                 w = next.fetch_add(1)) {
+                AnnealParams params;
+                params.iterations = iters_per_round;
+                params.seed = opts_.seed * 0x9e3779b97f4a7c15ULL +
+                              w * 1315423911ULL +
+                              static_cast<uint64_t>(round);
+                Annealer annealer(
+                    space_,
+                    [&, w](const CoreConfig &cfg) {
+                        return cached_eval(w, cfg);
+                    },
+                    params);
+                const AnnealResult res = annealer.run(current[w]);
+                current[w] = res.best;
+                current_ipt[w] = res.bestScore;
+                verbose("explore[%s] round %d: best IPT %.3f (%s)",
+                        suite_[w].name.c_str(), round, res.bestScore,
+                        res.best.summary().c_str());
+            }
+        };
+        std::vector<std::thread> pool;
+        const int nthreads =
+            std::min<int>(opts_.threads, static_cast<int>(n));
+        pool.reserve(static_cast<size_t>(nthreads));
+        for (int t = 0; t < nthreads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+
+        // Cross-adoption (§4.1) *between* rounds: a workload that
+        // performs clearly better on another workload's incumbent
+        // takes it as its own and keeps annealing from there in the
+        // next round, exactly as in the paper — so adopted
+        // configurations re-specialize instead of collapsing the
+        // suite onto a few shared architectures. No adoption after
+        // the final round.
+        if (round < opts_.rounds - 1) {
+            for (size_t w = 0; w < n; ++w) {
+                for (size_t other = 0; other < n; ++other) {
+                    if (other == w)
+                        continue;
+                    if (current[other].sameArch(current[w]))
+                        continue;
+                    const double ipt =
+                        cached_eval(w, current[other]);
+                    if (ipt > current_ipt[w] *
+                                  (1.0 + opts_.adoptionMargin)) {
+                        current[w] = current[other];
+                        current_ipt[w] = ipt;
+                        ++results[w].adoptions;
+                    }
+                }
+            }
+        }
+        inform("exploration round %d/%d done", round + 1, opts_.rounds);
+    }
+
+    // Final pass at the (longer) final evaluation length: score every
+    // configuration, and apply the paper's adoption rule one last time
+    // for gross violations only — a workload whose own annealing ended
+    // in a clearly inferior local optimum takes the better foreign
+    // configuration, while small noise-level differences keep the
+    // customized configurations distinct.
+    const uint64_t score_instrs = opts_.finalEvalInstrs > 0
+                                      ? opts_.finalEvalInstrs
+                                      : opts_.evalInstrs;
+    std::vector<double> final_ipt(n);
+    for (size_t w = 0; w < n; ++w) {
+        final_ipt[w] = evaluate(suite_[w], current[w], score_instrs);
+        evals[w].fetch_add(1, std::memory_order_relaxed);
+    }
+    for (size_t w = 0; w < n; ++w) {
+        for (size_t other = 0; other < n; ++other) {
+            if (other == w || current[other].sameArch(current[w]))
+                continue;
+            const double ipt =
+                evaluate(suite_[w], current[other], score_instrs);
+            evals[w].fetch_add(1, std::memory_order_relaxed);
+            if (ipt > final_ipt[w] *
+                          (1.0 + opts_.grossAdoptionMargin)) {
+                current[w] = current[other];
+                final_ipt[w] = ipt;
+                ++results[w].adoptions;
+            }
+        }
+    }
+
+    for (size_t w = 0; w < n; ++w) {
+        results[w].workload = suite_[w].name;
+        results[w].best = current[w];
+        results[w].best.name = suite_[w].name;
+        results[w].bestIpt = final_ipt[w];
+        results[w].evaluations = evals[w].load();
+    }
+    return results;
+}
+
+} // namespace xps

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * The per-workload exploration driver: runs a simulated-annealing
+ * search for every workload of a suite (in parallel across worker
+ * threads), with the paper's cross-adoption acceleration (§4.1): after
+ * each round, every workload is evaluated on every other workload's
+ * incumbent configuration and adopts it when it performs better there
+ * than on its own.
+ *
+ * The output — one customized configuration per workload — is the
+ * paper's *configurational characterization* of the suite.
+ */
+
+#ifndef XPS_EXPLORE_EXPLORER_HH
+#define XPS_EXPLORE_EXPLORER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "explore/annealer.hh"
+#include "explore/search_space.hh"
+#include "sim/config.hh"
+#include "sim/simulator.hh"
+#include "workload/profile.hh"
+
+namespace xps
+{
+
+/** Exploration budget and schedule. */
+struct ExplorerOptions
+{
+    uint64_t evalInstrs = 60000; ///< instructions per evaluation
+    uint64_t saIters = 300;      ///< total annealing steps per workload
+    int rounds = 3;              ///< annealing rounds (adoption between)
+    int threads = 2;             ///< worker threads
+    uint64_t seed = 7;           ///< master seed
+    /** Evaluation length used to score the final configurations
+     *  (0 = use evalInstrs). */
+    uint64_t finalEvalInstrs = 0;
+    /** Minimum relative gain before a foreign configuration is
+     *  adopted between rounds (guards config diversity against eval
+     *  noise). */
+    double adoptionMargin = 0.02;
+    /** After the final round, a workload still adopts a foreign
+     *  configuration that beats its own by at least this much at the
+     *  final evaluation length (the paper's adoption rule, applied
+     *  only to gross violations so diversity is preserved). */
+    double grossAdoptionMargin = 0.08;
+};
+
+/** One workload's exploration outcome. */
+struct WorkloadResult
+{
+    std::string workload;
+    CoreConfig best;        ///< customized configuration (name = workload)
+    double bestIpt = 0.0;   ///< IPT of the workload on `best`
+    uint64_t evaluations = 0;
+    uint64_t adoptions = 0; ///< times a foreign config was adopted
+};
+
+/** Multi-workload exploration (xp-scalar's main tool). */
+class Explorer
+{
+  public:
+    Explorer(std::vector<WorkloadProfile> suite,
+             ExplorerOptions opts = ExplorerOptions{},
+             ExploreBounds bounds = ExploreBounds{});
+
+    /** Run the full exploration; results in suite order. */
+    std::vector<WorkloadResult> exploreAll();
+
+    /** Evaluate one workload on one configuration (IPT). */
+    static double evaluate(const WorkloadProfile &profile,
+                           const CoreConfig &config,
+                           uint64_t instrs);
+
+    const SearchSpace &space() const { return space_; }
+
+  private:
+    std::vector<WorkloadProfile> suite_;
+    ExplorerOptions opts_;
+    UnitTiming timing_;
+    SearchSpace space_;
+};
+
+} // namespace xps
+
+#endif // XPS_EXPLORE_EXPLORER_HH

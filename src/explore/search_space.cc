@@ -1,0 +1,224 @@
+#include "explore/search_space.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+SearchSpace::SearchSpace(const UnitTiming &timing,
+                         const ExploreBounds &bounds)
+    : timing_(timing), bounds_(bounds)
+{
+    if (bounds_.minClockNs <= timing_.tech().latchLatencyNs)
+        fatal("ExploreBounds: min clock below latch latency");
+}
+
+bool
+SearchSpace::refitWindows(CoreConfig &cfg) const
+{
+    const uint32_t width = cfg.width;
+    const uint32_t iq = maxFitting(
+        timing_, candidates::iqSizes(),
+        [&](uint32_t n) { return timing_.iqTotal(n, width); },
+        cfg.schedDepth, cfg.clockNs);
+    const uint32_t rob = maxFitting(
+        timing_, candidates::robSizes(),
+        [&](uint32_t n) { return timing_.regfileAccess(n, width); },
+        cfg.schedDepth, cfg.clockNs);
+    const uint32_t lsq = maxFitting(
+        timing_, candidates::lsqSizes(),
+        [&](uint32_t n) { return timing_.lsqSearch(n); },
+        cfg.lsqDepth, cfg.clockNs);
+    if (iq < width || rob < width || lsq < 2)
+        return false;
+    cfg.iqSize = iq;
+    cfg.robSize = rob;
+    cfg.lsqSize = lsq;
+    return true;
+}
+
+bool
+SearchSpace::sampleCache(int depth, double clock_ns,
+                         uint64_t max_capacity, Rng &rng,
+                         CacheGeom &out) const
+{
+    const auto fitting = cacheGeometriesFitting(timing_, depth, clock_ns,
+                                                max_capacity);
+    if (fitting.empty())
+        return false;
+    // Capacity-weighted draw: larger geometries are preferred but all
+    // shapes stay reachable, so line-size / associativity trade-offs
+    // are explored rather than maximized away.
+    double total = 0.0;
+    for (const auto &g : fitting)
+        total += static_cast<double>(g.capacityBytes());
+    double pick = rng.uniform() * total;
+    for (const auto &g : fitting) {
+        pick -= static_cast<double>(g.capacityBytes());
+        if (pick <= 0.0) {
+            out = g;
+            return true;
+        }
+    }
+    out = fitting.back();
+    return true;
+}
+
+bool
+SearchSpace::sampleL1(CoreConfig &cfg, Rng &rng) const
+{
+    CacheGeom geom;
+    if (!sampleCache(cfg.l1Cycles, cfg.clockNs,
+                     bounds_.maxL1CapacityBytes, rng, geom)) {
+        return false;
+    }
+    cfg.l1Sets = geom.sets;
+    cfg.l1Assoc = geom.assoc;
+    cfg.l1LineBytes = geom.lineBytes;
+    return true;
+}
+
+bool
+SearchSpace::sampleL2(CoreConfig &cfg, Rng &rng) const
+{
+    CacheGeom geom;
+    if (!sampleCache(cfg.l2Cycles, cfg.clockNs,
+                     bounds_.maxL2CapacityBytes, rng, geom)) {
+        return false;
+    }
+    cfg.l2Sets = geom.sets;
+    cfg.l2Assoc = geom.assoc;
+    cfg.l2LineBytes = geom.lineBytes;
+    return true;
+}
+
+bool
+SearchSpace::refit(CoreConfig &cfg, Rng &rng) const
+{
+    cfg.clockNs = std::clamp(cfg.clockNs, bounds_.minClockNs,
+                             bounds_.maxClockNs);
+    // Quantize to 1ps: keeps serialization lossless and the
+    // evaluation memo compact.
+    cfg.clockNs = std::round(cfg.clockNs * 1000.0) / 1000.0;
+    cfg.schedDepth = std::clamp(cfg.schedDepth, 1, bounds_.maxSchedDepth);
+    cfg.lsqDepth = std::clamp(cfg.lsqDepth, 1, bounds_.maxLsqDepth);
+    cfg.l1Cycles = std::clamp(cfg.l1Cycles, 1, bounds_.maxL1Cycles);
+    cfg.l2Cycles = std::clamp(cfg.l2Cycles, 1, bounds_.maxL2Cycles);
+
+    if (!refitWindows(cfg))
+        return false;
+
+    // Keep the current cache geometries when they still fit;
+    // otherwise re-sample a fitting one.
+    if (!timing_.fits(timing_.cacheAccess(cfg.l1Sets, cfg.l1Assoc,
+                                          cfg.l1LineBytes),
+                      cfg.l1Cycles, cfg.clockNs) ||
+        cfg.l1CapacityBytes() > bounds_.maxL1CapacityBytes) {
+        if (!sampleL1(cfg, rng))
+            return false;
+    }
+    if (!timing_.fits(timing_.cacheAccess(cfg.l2Sets, cfg.l2Assoc,
+                                          cfg.l2LineBytes),
+                      cfg.l2Cycles, cfg.clockNs) ||
+        cfg.l2CapacityBytes() > bounds_.maxL2CapacityBytes ||
+        cfg.l2CapacityBytes() < cfg.l1CapacityBytes()) {
+        if (!sampleL2(cfg, rng))
+            return false;
+        // L2 must dominate L1; re-sample the L1 downward if the draw
+        // came out smaller.
+        int guard = 0;
+        while (cfg.l2CapacityBytes() < cfg.l1CapacityBytes()) {
+            if (!sampleL2(cfg, rng) || ++guard > 32)
+                return false;
+        }
+    }
+    return cfg.checkFits(timing_).empty();
+}
+
+CoreConfig
+SearchSpace::initialConfig() const
+{
+    CoreConfig cfg = CoreConfig::initial();
+    Rng rng(0x1717);
+    if (!refit(cfg, rng))
+        panic("SearchSpace: Table-3 initial configuration cannot be "
+              "refit to legality");
+    return cfg;
+}
+
+bool
+SearchSpace::neighbor(const CoreConfig &from, Rng &rng,
+                      CoreConfig &out) const
+{
+    out = from;
+    // Move mix: clock scaling is the signature xp-scalar move and is
+    // drawn most often; the rest vary one unit's depth/shape.
+    const int move = static_cast<int>(rng.below(8));
+    switch (move) {
+      case 0:
+      case 1: // vary the clock, keep stage counts, refit sizes
+        out.clockNs = from.clockNs * rng.uniform(0.85, 1.18);
+        break;
+      case 2: // scheduler/regfile depth
+        out.schedDepth = from.schedDepth + (rng.chance(0.5) ? 1 : -1);
+        break;
+      case 3: // processor width
+        out.width = static_cast<uint32_t>(std::clamp<int64_t>(
+            static_cast<int64_t>(from.width) +
+                (rng.chance(0.5) ? 1 : -1),
+            1, 8));
+        break;
+      case 4: // L1 pipeline depth (+ geometry re-sample)
+        out.l1Cycles = from.l1Cycles + (rng.chance(0.5) ? 1 : -1);
+        out.l1Cycles = std::clamp(out.l1Cycles, 1, bounds_.maxL1Cycles);
+        if (!sampleL1(out, rng))
+            return false;
+        break;
+      case 5: // L2 pipeline depth (+ geometry re-sample)
+        out.l2Cycles = from.l2Cycles + (rng.chance(0.5) ? 2 : -2);
+        out.l2Cycles = std::clamp(out.l2Cycles, 1, bounds_.maxL2Cycles);
+        if (!sampleL2(out, rng))
+            return false;
+        break;
+      case 6: // L1 shape move at fixed depth
+        if (!sampleL1(out, rng))
+            return false;
+        break;
+      case 7: // L2 shape move at fixed depth
+        if (!sampleL2(out, rng))
+            return false;
+        break;
+    }
+    if (!refit(out, rng))
+        return false;
+    return !out.sameArch(from);
+}
+
+CoreConfig
+SearchSpace::randomConfig(Rng &rng) const
+{
+    for (int attempt = 0; attempt < 256; ++attempt) {
+        CoreConfig cfg;
+        cfg.name = "random";
+        cfg.clockNs = rng.uniform(bounds_.minClockNs, bounds_.maxClockNs);
+        cfg.width = static_cast<uint32_t>(rng.range(1, 8));
+        cfg.schedDepth =
+            static_cast<int>(rng.range(1, bounds_.maxSchedDepth));
+        cfg.lsqDepth =
+            static_cast<int>(rng.range(1, bounds_.maxLsqDepth));
+        cfg.l1Cycles =
+            static_cast<int>(rng.range(1, bounds_.maxL1Cycles));
+        cfg.l2Cycles =
+            static_cast<int>(rng.range(1, bounds_.maxL2Cycles));
+        if (!sampleL1(cfg, rng) || !sampleL2(cfg, rng))
+            continue;
+        if (refit(cfg, rng))
+            return cfg;
+    }
+    panic("SearchSpace::randomConfig: no legal configuration found");
+}
+
+} // namespace xps

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The superscalar design space and its exploration moves, following
+ * the paper's §3: "In each iteration, either the clock period is
+ * varied, and the size of the issue queue, register-file/ROB,
+ * load-store queue, L1 and L2 caches, and processor width adjusted to
+ * make their access times fit within the number of pipeline stages
+ * assigned to them, or the number of pipeline stages of a unit is
+ * varied and its configuration appropriately adjusted."
+ *
+ * Window structures (IQ, ROB, LSQ) are refit to the *largest* size
+ * that meets the stage budget — with performance the only objective,
+ * capacity is monotonically useful for them. Cache geometry is not
+ * monotone (line size vs. sets vs. ways trade off per workload), so
+ * cache moves sample among the fitting geometries, biased toward
+ * capacity.
+ */
+
+#ifndef XPS_EXPLORE_SEARCH_SPACE_HH
+#define XPS_EXPLORE_SEARCH_SPACE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/config.hh"
+#include "timing/fitting.hh"
+#include "util/rng.hh"
+
+namespace xps
+{
+
+/** Bounds of the explored space. */
+struct ExploreBounds
+{
+    double minClockNs = 0.12;
+    double maxClockNs = 0.80;
+    uint64_t maxL1CapacityBytes = 512ULL << 10;
+    uint64_t maxL2CapacityBytes = 8ULL << 20;
+    int maxSchedDepth = 4;
+    int maxLsqDepth = 4;
+    int maxL1Cycles = 8;
+    int maxL2Cycles = 32;
+};
+
+/** Move generator and fitting engine over CoreConfig. */
+class SearchSpace
+{
+  public:
+    explicit SearchSpace(const UnitTiming &timing,
+                         const ExploreBounds &bounds = ExploreBounds{});
+
+    /** The Table-3 starting point, refit to legality. */
+    CoreConfig initialConfig() const;
+
+    /**
+     * Propose a neighbouring legal configuration (one SA move).
+     * Returns false when the sampled move cannot produce a legal
+     * configuration (caller should re-draw).
+     */
+    bool neighbor(const CoreConfig &from, Rng &rng,
+                  CoreConfig &out) const;
+
+    /**
+     * Enforce every fitting constraint on `cfg` by refitting window
+     * sizes (largest fitting) and, when the caches no longer fit,
+     * re-sampling their geometry. Returns false when no legal
+     * configuration exists at cfg's clock/depths.
+     */
+    bool refit(CoreConfig &cfg, Rng &rng) const;
+
+    /** A uniformly random legal configuration (for space sampling
+     *  tests and restarts). */
+    CoreConfig randomConfig(Rng &rng) const;
+
+    const ExploreBounds &bounds() const { return bounds_; }
+    const UnitTiming &timing() const { return timing_; }
+
+  private:
+    bool refitWindows(CoreConfig &cfg) const;
+    bool sampleL1(CoreConfig &cfg, Rng &rng) const;
+    bool sampleL2(CoreConfig &cfg, Rng &rng) const;
+    bool sampleCache(int depth, double clock_ns, uint64_t max_capacity,
+                     Rng &rng, CacheGeom &out) const;
+
+    const UnitTiming &timing_;
+    ExploreBounds bounds_;
+};
+
+} // namespace xps
+
+#endif // XPS_EXPLORE_SEARCH_SPACE_HH

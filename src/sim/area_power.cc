@@ -1,0 +1,104 @@
+#include "sim/area_power.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+namespace
+{
+
+/** SRAM array area for a capacity in bytes with the given ports. */
+double
+sramMm2(uint64_t bytes, uint32_t ports, const AreaPowerParams &p,
+        double cell_factor = 1.0)
+{
+    const double kb = static_cast<double>(bytes) / 1024.0;
+    const double port_scale =
+        1.0 + p.sramPortAreaFactor * static_cast<double>(
+                                         ports > 0 ? ports - 1 : 0);
+    return cell_factor * p.sramMm2PerKb * kb * port_scale;
+}
+
+} // namespace
+
+double
+configAreaMm2(const CoreConfig &cfg, const AreaPowerParams &p)
+{
+    const double w = static_cast<double>(cfg.width);
+    const double core = p.coreBaseMm2 + p.coreWidthMm2 * (w - 1.0) +
+                        p.bypassMm2 * w * w;
+
+    const double l1 = sramMm2(cfg.l1CapacityBytes(), 4, p);
+    const double l2 = sramMm2(cfg.l2CapacityBytes(), 4, p);
+
+    // Window structures: IQ (CAM tags + payload), regfile/ROB, LSQ
+    // (CAM). Entry sizes follow the Table-1 geometries (8 bytes).
+    const double iq = sramMm2(8ULL * cfg.iqSize, cfg.width, p,
+                              p.camAreaFactor) +
+                      sramMm2(8ULL * cfg.iqSize, cfg.width, p);
+    const double rob =
+        sramMm2(8ULL * cfg.robSize, 3 * cfg.width, p);
+    const double lsq =
+        sramMm2(8ULL * cfg.lsqSize, 4, p, p.camAreaFactor);
+
+    return core + l1 + l2 + iq + rob + lsq;
+}
+
+AreaPowerEstimate
+estimateAreaPower(const CoreConfig &cfg, const SimStats &stats,
+                  const AreaPowerParams &p)
+{
+    if (stats.instructions == 0 || stats.cycles == 0)
+        fatal("estimateAreaPower: empty SimStats");
+
+    AreaPowerEstimate est;
+    const double w = static_cast<double>(cfg.width);
+    est.coreMm2 = p.coreBaseMm2 + p.coreWidthMm2 * (w - 1.0) +
+                  p.bypassMm2 * w * w;
+    est.l1Mm2 = sramMm2(cfg.l1CapacityBytes(), 4, p);
+    est.l2Mm2 = sramMm2(cfg.l2CapacityBytes(), 4, p);
+    est.windowMm2 = configAreaMm2(cfg, p) - est.coreMm2 - est.l1Mm2 -
+                    est.l2Mm2;
+    est.totalMm2 = est.coreMm2 + est.l1Mm2 + est.l2Mm2 +
+                   est.windowMm2;
+
+    // Activity rates per nanosecond.
+    const double time_ns =
+        static_cast<double>(stats.cycles) * cfg.clockNs;
+    const double instr_per_ns =
+        static_cast<double>(stats.instructions) / time_ns;
+    const double mem_per_ns =
+        static_cast<double>(stats.loads + stats.stores) / time_ns;
+    const double l2_per_ns =
+        static_cast<double>(stats.l1Misses) / time_ns;
+
+    const double l1_kb =
+        static_cast<double>(cfg.l1CapacityBytes()) / 1024.0;
+    const double l2_kb =
+        static_cast<double>(cfg.l2CapacityBytes()) / 1024.0;
+
+    // nJ/ns = W.
+    est.dynamicW =
+        mem_per_ns * p.cacheAccessNj * std::sqrt(l1_kb) +
+        l2_per_ns * p.cacheAccessNj * std::sqrt(l2_kb) +
+        instr_per_ns * p.issueNj * std::sqrt(w) +
+        instr_per_ns * p.fetchNj;
+    est.staticW = p.leakageWPerMm2 * est.totalMm2;
+    est.totalW = est.dynamicW + est.staticW;
+
+    est.epiNj = est.totalW / instr_per_ns;
+    return est;
+}
+
+double
+iptPerWatt(const CoreConfig &cfg, const SimStats &stats, double alpha,
+           const AreaPowerParams &p)
+{
+    const AreaPowerEstimate est = estimateAreaPower(cfg, stats, p);
+    return std::pow(stats.ipt(), alpha) / est.totalW;
+}
+
+} // namespace xps

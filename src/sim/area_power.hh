@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Area and power estimation for core configurations — the extension
+ * the paper sketches in §3: "Extending the tool to conduct
+ * exploration based on a metric that represents some combination of
+ * performance, power and die area should not be exceptionally
+ * difficult." The paper also reports that perf-only optima stayed
+ * "within acceptable limits" on these axes; the power-aware ablation
+ * bench checks the analogous property here.
+ *
+ * The model is deliberately first-order, like cacti-lite:
+ *  - SRAM area scales with capacity, inflated by the port count;
+ *    CAM cells are several times larger per bit;
+ *  - core (non-array) area grows with issue width (linear datapath
+ *    plus a quadratic bypass-network term);
+ *  - dynamic power = per-access energies x access rates x frequency;
+ *  - static power = leakage density x area.
+ * Coefficients approximate a 90nm-class process and are exposed in
+ * one struct for recalibration.
+ */
+
+#ifndef XPS_SIM_AREA_POWER_HH
+#define XPS_SIM_AREA_POWER_HH
+
+#include "sim/config.hh"
+#include "sim/sim_stats.hh"
+
+namespace xps
+{
+
+/** First-order area/energy coefficients (90nm-class). */
+struct AreaPowerParams
+{
+    // --- area ---------------------------------------------------------
+    /** SRAM density in mm^2 per KB (single-ported). */
+    double sramMm2PerKb = 0.012;
+    /** Additional area fraction per port beyond the first. */
+    double sramPortAreaFactor = 0.35;
+    /** CAM cell area multiplier relative to SRAM. */
+    double camAreaFactor = 4.0;
+    /** Fixed core area (fetch/decode/FUs at width 1), mm^2. */
+    double coreBaseMm2 = 2.0;
+    /** Per-width datapath area, mm^2. */
+    double coreWidthMm2 = 0.9;
+    /** Quadratic bypass-network coefficient, mm^2. */
+    double bypassMm2 = 0.06;
+
+    // --- energy / power -------------------------------------------------
+    /** Dynamic energy per cache access per KB^0.5, nJ. */
+    double cacheAccessNj = 0.015;
+    /** Dynamic energy per issued instruction (regfile, IQ, bypass)
+     *  per width^0.5, nJ. */
+    double issueNj = 0.05;
+    /** Front-end energy per fetched instruction, nJ. */
+    double fetchNj = 0.02;
+    /** Leakage power density, W per mm^2. */
+    double leakageWPerMm2 = 0.03;
+};
+
+/** Area/power estimates for one configuration. */
+struct AreaPowerEstimate
+{
+    double coreMm2 = 0.0; ///< non-array core area
+    double l1Mm2 = 0.0;
+    double l2Mm2 = 0.0;
+    double windowMm2 = 0.0; ///< IQ + ROB/regfile + LSQ
+    double totalMm2 = 0.0;
+
+    double dynamicW = 0.0; ///< at the measured activity
+    double staticW = 0.0;
+    double totalW = 0.0;
+
+    /** Energy per instruction in nJ (power x time / instructions). */
+    double epiNj = 0.0;
+};
+
+/** Die area of a configuration (workload independent). */
+double configAreaMm2(const CoreConfig &cfg,
+                     const AreaPowerParams &params = AreaPowerParams{});
+
+/**
+ * Full estimate for a configuration running a measured workload
+ * (activity factors come from the SimStats).
+ */
+AreaPowerEstimate estimateAreaPower(
+    const CoreConfig &cfg, const SimStats &stats,
+    const AreaPowerParams &params = AreaPowerParams{});
+
+/**
+ * A combined figure of merit in the spirit of the paper's §3 remark:
+ * IPT^alpha per Watt — alpha > 1 biases toward performance
+ * (alpha = 2 is the familiar inverse energy-delay-squared flavour).
+ */
+double iptPerWatt(const CoreConfig &cfg, const SimStats &stats,
+                  double alpha = 2.0,
+                  const AreaPowerParams &params = AreaPowerParams{});
+
+} // namespace xps
+
+#endif // XPS_SIM_AREA_POWER_HH

@@ -1,0 +1,138 @@
+#include "sim/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+Cache::Cache(uint64_t sets, uint32_t assoc, uint32_t line_bytes)
+    : sets_(sets), assoc_(assoc),
+      lineShift_(static_cast<uint32_t>(std::countr_zero(
+          static_cast<uint64_t>(line_bytes)))),
+      ways_(sets * assoc)
+{
+    if (sets == 0 || (sets & (sets - 1)) != 0)
+        fatal("Cache: sets %llu not a power of two",
+              static_cast<unsigned long long>(sets));
+    if (line_bytes == 0 || (line_bytes & (line_bytes - 1)) != 0)
+        fatal("Cache: line size %u not a power of two", line_bytes);
+    if (assoc == 0)
+        fatal("Cache: zero associativity");
+}
+
+bool
+Cache::access(uint64_t addr)
+{
+    const uint64_t line = addr >> lineShift_;
+    const uint64_t set = setIndex(line);
+    Way *row = &ways_[set * assoc_];
+    ++stamp_;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (row[w].valid && row[w].tag == line) {
+            row[w].lru = stamp_;
+            ++hits_;
+            return true;
+        }
+    }
+    ++misses_;
+    return false;
+}
+
+void
+Cache::fill(uint64_t addr)
+{
+    const uint64_t line = addr >> lineShift_;
+    const uint64_t set = setIndex(line);
+    Way *row = &ways_[set * assoc_];
+    ++stamp_;
+    // Already present (racing fills of the same line): refresh LRU.
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (row[w].valid && row[w].tag == line) {
+            row[w].lru = stamp_;
+            return;
+        }
+    }
+    uint32_t victim = 0;
+    for (uint32_t w = 0; w < assoc_; ++w) {
+        if (!row[w].valid) {
+            victim = w;
+            break;
+        }
+        if (row[w].lru < row[victim].lru)
+            victim = w;
+    }
+    row[victim] = Way{line, stamp_, true};
+}
+
+void
+Cache::reset()
+{
+    for (auto &way : ways_)
+        way = Way{};
+    stamp_ = 0;
+    hits_ = 0;
+    misses_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(uint64_t l1_sets, uint32_t l1_assoc,
+                                 uint32_t l1_line, int l1_cycles,
+                                 uint64_t l2_sets, uint32_t l2_assoc,
+                                 uint32_t l2_line, int l2_cycles,
+                                 int mem_cycles)
+    : l1_(l1_sets, l1_assoc, l1_line), l2_(l2_sets, l2_assoc, l2_line),
+      l1Cycles_(l1_cycles), l2Cycles_(l2_cycles), memCycles_(mem_cycles),
+      l1FillCycles_(static_cast<int>(l1_line / 32)),
+      l2FillCycles_(static_cast<int>(l2_line / 16))
+{
+}
+
+int
+MemoryHierarchy::loadLatency(uint64_t addr, Level *level_out)
+{
+    if (l1_.access(addr)) {
+        if (level_out)
+            *level_out = Level::L1;
+        return l1Cycles_;
+    }
+    if (l2_.access(addr)) {
+        l1_.fill(addr);
+        if (level_out)
+            *level_out = Level::L2;
+        return l1Cycles_ + l2Cycles_ + l1FillCycles_;
+    }
+    ++memAccesses_;
+    l2_.fill(addr);
+    l1_.fill(addr);
+    if (level_out)
+        *level_out = Level::Memory;
+    return l1Cycles_ + l2Cycles_ + memCycles_ + l1FillCycles_ +
+           l2FillCycles_;
+}
+
+void
+MemoryHierarchy::storeTouch(uint64_t addr)
+{
+    // Write-allocate: bring the line in (no latency charged; the
+    // store buffer hides it), recording the miss traffic.
+    if (l1_.access(addr))
+        return;
+    if (!l2_.access(addr)) {
+        ++memAccesses_;
+        l2_.fill(addr);
+    } else {
+        // hit in L2: line already counted
+    }
+    l1_.fill(addr);
+}
+
+void
+MemoryHierarchy::reset()
+{
+    l1_.reset();
+    l2_.reset();
+    memAccesses_ = 0;
+}
+
+} // namespace xps

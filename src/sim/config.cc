@@ -1,0 +1,201 @@
+#include "sim/config.hh"
+
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace xps
+{
+
+int
+CoreConfig::frontEndStages(const Technology &tech) const
+{
+    const double per_stage = clockNs - tech.latchLatencyNs;
+    if (per_stage <= 0.0)
+        fatal("clock %.3fns <= latch latency", clockNs);
+    const int stages = static_cast<int>(
+        std::ceil(tech.frontEndLatencyNs / per_stage - 1e-12));
+    // At least fetch and rename stages exist at any clock.
+    return stages < 2 ? 2 : stages;
+}
+
+int
+CoreConfig::memCycles(const Technology &tech) const
+{
+    return static_cast<int>(std::ceil(tech.memLatencyNs / clockNs));
+}
+
+std::string
+CoreConfig::checkFits(const UnitTiming &timing) const
+{
+    std::ostringstream why;
+    if (clockNs <= timing.tech().latchLatencyNs + 1e-9)
+        return "clock period not above latch latency";
+    if (width < 1 || width > 8)
+        return "width out of [1,8]";
+    if (robSize < width || iqSize < width || lsqSize < 2)
+        return "window structures too small for the width";
+    if (schedDepth < 1 || schedDepth > 6 || lsqDepth < 1 || lsqDepth > 8)
+        return "scheduler/LSQ depth out of range";
+    if (l1Cycles < 1 || l2Cycles < 1)
+        return "cache latencies must be at least one cycle";
+
+    if (!timing.fits(timing.iqTotal(iqSize, width), schedDepth, clockNs)) {
+        why << "issue queue " << iqSize << " @w" << width
+            << " does not fit " << schedDepth << " stages";
+        return why.str();
+    }
+    if (!timing.fits(timing.regfileAccess(robSize, width), schedDepth,
+                     clockNs)) {
+        why << "regfile/ROB " << robSize << " @w" << width
+            << " does not fit " << schedDepth << " stages";
+        return why.str();
+    }
+    if (!timing.fits(timing.lsqSearch(lsqSize), lsqDepth, clockNs)) {
+        why << "LSQ " << lsqSize << " does not fit " << lsqDepth
+            << " stages";
+        return why.str();
+    }
+    if (!timing.fits(timing.cacheAccess(l1Sets, l1Assoc, l1LineBytes),
+                     l1Cycles, clockNs)) {
+        why << "L1 " << formatBytes(l1CapacityBytes())
+            << " does not fit " << l1Cycles << " cycles";
+        return why.str();
+    }
+    if (!timing.fits(timing.cacheAccess(l2Sets, l2Assoc, l2LineBytes),
+                     l2Cycles, clockNs)) {
+        why << "L2 " << formatBytes(l2CapacityBytes())
+            << " does not fit " << l2Cycles << " cycles";
+        return why.str();
+    }
+    if (l2CapacityBytes() < l1CapacityBytes())
+        return "L2 smaller than L1";
+    return "";
+}
+
+void
+CoreConfig::validate(const UnitTiming &timing) const
+{
+    const std::string why = checkFits(timing);
+    if (!why.empty())
+        fatal("invalid configuration '%s': %s",
+              name.c_str(), why.c_str());
+}
+
+CoreConfig
+CoreConfig::initial()
+{
+    // The paper's Table 3: width 3, ROB 128, IQ 64, LSQ 64, 0.33ns
+    // clock, L1 4 cycles, L2 12 cycles, scheduler depth 1, LSQ depth 2.
+    CoreConfig cfg;
+    cfg.name = "initial";
+    cfg.clockNs = 0.33;
+    cfg.width = 3;
+    cfg.robSize = 128;
+    cfg.iqSize = 64;
+    cfg.lsqSize = 64;
+    cfg.schedDepth = 1;
+    cfg.lsqDepth = 2;
+    cfg.l1Sets = 256;
+    cfg.l1Assoc = 2;
+    cfg.l1LineBytes = 32;
+    cfg.l1Cycles = 4;
+    cfg.l2Sets = 1024;
+    cfg.l2Assoc = 4;
+    cfg.l2LineBytes = 128;
+    cfg.l2Cycles = 12;
+    return cfg;
+}
+
+std::vector<std::string>
+CoreConfig::csvHeader()
+{
+    return {"name", "clock_ns", "width", "rob", "iq", "lsq",
+            "sched_depth", "lsq_depth", "l1_sets", "l1_assoc",
+            "l1_line", "l1_cycles", "l2_sets", "l2_assoc", "l2_line",
+            "l2_cycles"};
+}
+
+std::vector<std::string>
+CoreConfig::toCsvRow() const
+{
+    return {name, formatDouble(clockNs, 4), std::to_string(width),
+            std::to_string(robSize), std::to_string(iqSize),
+            std::to_string(lsqSize), std::to_string(schedDepth),
+            std::to_string(lsqDepth), std::to_string(l1Sets),
+            std::to_string(l1Assoc), std::to_string(l1LineBytes),
+            std::to_string(l1Cycles), std::to_string(l2Sets),
+            std::to_string(l2Assoc), std::to_string(l2LineBytes),
+            std::to_string(l2Cycles)};
+}
+
+CoreConfig
+CoreConfig::fromCsvRow(const std::vector<std::string> &header,
+                       const std::vector<std::string> &row)
+{
+    if (header.size() != row.size())
+        fatal("CoreConfig::fromCsvRow: width mismatch");
+    auto get = [&](const char *key) -> const std::string & {
+        for (size_t i = 0; i < header.size(); ++i) {
+            if (header[i] == key)
+                return row[i];
+        }
+        fatal("CoreConfig::fromCsvRow: missing column '%s'", key);
+    };
+    CoreConfig cfg;
+    cfg.name = get("name");
+    cfg.clockNs = std::atof(get("clock_ns").c_str());
+    cfg.width = std::atoi(get("width").c_str());
+    cfg.robSize = std::atoi(get("rob").c_str());
+    cfg.iqSize = std::atoi(get("iq").c_str());
+    cfg.lsqSize = std::atoi(get("lsq").c_str());
+    cfg.schedDepth = std::atoi(get("sched_depth").c_str());
+    cfg.lsqDepth = std::atoi(get("lsq_depth").c_str());
+    cfg.l1Sets = std::atoll(get("l1_sets").c_str());
+    cfg.l1Assoc = std::atoi(get("l1_assoc").c_str());
+    cfg.l1LineBytes = std::atoi(get("l1_line").c_str());
+    cfg.l1Cycles = std::atoi(get("l1_cycles").c_str());
+    cfg.l2Sets = std::atoll(get("l2_sets").c_str());
+    cfg.l2Assoc = std::atoi(get("l2_assoc").c_str());
+    cfg.l2LineBytes = std::atoi(get("l2_line").c_str());
+    cfg.l2Cycles = std::atoi(get("l2_cycles").c_str());
+    return cfg;
+}
+
+std::string
+CoreConfig::summary() const
+{
+    std::ostringstream out;
+    out << (name.empty() ? "(unnamed)" : name)
+        << ": clk=" << formatDouble(clockNs, 2) << "ns"
+        << " w=" << width
+        << " rob=" << robSize
+        << " iq=" << iqSize
+        << " lsq=" << lsqSize
+        << " sched=" << schedDepth
+        << " L1=" << formatBytes(l1CapacityBytes())
+        << "/" << l1Assoc << "w/" << l1LineBytes << "B@" << l1Cycles
+        << " L2=" << formatBytes(l2CapacityBytes())
+        << "/" << l2Assoc << "w/" << l2LineBytes << "B@" << l2Cycles;
+    return out.str();
+}
+
+bool
+CoreConfig::sameArch(const CoreConfig &other) const
+{
+    return clockNs == other.clockNs && width == other.width &&
+           robSize == other.robSize && iqSize == other.iqSize &&
+           lsqSize == other.lsqSize && schedDepth == other.schedDepth &&
+           lsqDepth == other.lsqDepth && l1Sets == other.l1Sets &&
+           l1Assoc == other.l1Assoc &&
+           l1LineBytes == other.l1LineBytes &&
+           l1Cycles == other.l1Cycles && l2Sets == other.l2Sets &&
+           l2Assoc == other.l2Assoc &&
+           l2LineBytes == other.l2LineBytes &&
+           l2Cycles == other.l2Cycles;
+}
+
+} // namespace xps

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * CoreConfig: the architectural configuration of one superscalar core
+ * — exactly the parameter set of the paper's Tables 3 and 4. The
+ * clock period is a first-class member; the front-end depth and the
+ * memory access latency in cycles are *derived* from the fixed Table-2
+ * latencies and the clock, and every sized unit must fit its assigned
+ * pipeline depth under the cacti-lite model (validate()).
+ */
+
+#ifndef XPS_SIM_CONFIG_HH
+#define XPS_SIM_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "timing/unit_timing.hh"
+
+namespace xps
+{
+
+/** One core's architectural configuration. */
+struct CoreConfig
+{
+    /** Optional label (e.g. the workload it was customized for). */
+    std::string name;
+
+    /** Clock period in nanoseconds. */
+    double clockNs = 0.33;
+    /** Dispatch, issue and commit width. */
+    uint32_t width = 3;
+    /** Reorder-buffer / register-file size. */
+    uint32_t robSize = 128;
+    /** Issue-queue size. */
+    uint32_t iqSize = 64;
+    /** Load-store-queue size. */
+    uint32_t lsqSize = 64;
+    /** Pipeline depth of the scheduler / register-file loop. */
+    int schedDepth = 1;
+    /** Pipeline depth of the LSQ search. */
+    int lsqDepth = 2;
+
+    /** L1 data cache geometry and pipelined access latency. */
+    uint64_t l1Sets = 128;
+    uint32_t l1Assoc = 2;
+    uint32_t l1LineBytes = 32;
+    int l1Cycles = 4;
+
+    /** L2 data cache geometry and pipelined access latency. */
+    uint64_t l2Sets = 1024;
+    uint32_t l2Assoc = 4;
+    uint32_t l2LineBytes = 128;
+    int l2Cycles = 12;
+
+    // --- derived quantities ------------------------------------------------
+    /** Front-end pipeline stages: the fixed 2ns fetch/decode/rename
+     *  latency of Table 2 divided into clock-sized stages. */
+    int frontEndStages(const Technology &tech) const;
+    /** Main-memory latency in cycles (Table 2's 50ns). */
+    int memCycles(const Technology &tech) const;
+    /** Extra scheduling-loop latency for waking dependents: a deeper
+     *  scheduler cannot issue dependents back to back. */
+    int awakenLatency() const { return schedDepth - 1; }
+    /** Clock frequency in GHz. */
+    double clockGhz() const { return 1.0 / clockNs; }
+    /** L1/L2 capacities in bytes. */
+    uint64_t l1CapacityBytes() const
+    {
+        return l1Sets * l1Assoc * l1LineBytes;
+    }
+    uint64_t l2CapacityBytes() const
+    {
+        return l2Sets * l2Assoc * l2LineBytes;
+    }
+
+    /**
+     * Check that every unit fits its assigned depth at this clock
+     * under the timing model, and that parameters are in range.
+     * Returns an empty string when valid, else a description of the
+     * first violated constraint.
+     */
+    std::string checkFits(const UnitTiming &timing) const;
+
+    /** fatal() unless checkFits passes and basic ranges hold. */
+    void validate(const UnitTiming &timing) const;
+
+    /** The paper's Table-3 initial configuration. */
+    static CoreConfig initial();
+
+    /** Stable serialization for result caching (CSV cells). */
+    static std::vector<std::string> csvHeader();
+    std::vector<std::string> toCsvRow() const;
+    static CoreConfig fromCsvRow(const std::vector<std::string> &header,
+                                 const std::vector<std::string> &row);
+
+    /** Human-readable one-line summary. */
+    std::string summary() const;
+
+    /** Identity on all architectural fields (name excluded). */
+    bool sameArch(const CoreConfig &other) const;
+};
+
+} // namespace xps
+
+#endif // XPS_SIM_CONFIG_HH

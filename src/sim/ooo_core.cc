@@ -1,0 +1,327 @@
+#include "sim/ooo_core.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+OooCore::OooCore(const CoreConfig &cfg, const Technology &tech)
+    : cfg_(cfg), tech_(tech),
+      feStages_(cfg.frontEndStages(tech)),
+      awaken_(cfg.awakenLatency()),
+      mulUnits_(std::max(1u, cfg.width / 3)),
+      hierarchy_(cfg.l1Sets, cfg.l1Assoc, cfg.l1LineBytes, cfg.l1Cycles,
+                 cfg.l2Sets, cfg.l2Assoc, cfg.l2LineBytes, cfg.l2Cycles,
+                 cfg.memCycles(tech)),
+      predictor_(),
+      rob_(cfg.robSize)
+{
+    UnitTiming timing(tech);
+    cfg_.validate(timing);
+    // Enough fetch-buffer slots to keep the front-end pipe full.
+    fetchBufCap_ = static_cast<size_t>(feStages_ + 2) * cfg_.width;
+}
+
+bool
+OooCore::ready(uint64_t seq, const Slot &s) const
+{
+    for (int i = 0; i < s.op.numSrcs; ++i) {
+        const uint32_t dist = s.op.srcDist[i];
+        if (dist == 0)
+            continue;
+        if (dist > seq)
+            continue; // producer predates the simulation
+        const uint64_t prod_seq = seq - dist;
+        if (prod_seq < robHead_)
+            continue; // producer already retired
+        const Slot &prod =
+            rob_[prod_seq % cfg_.robSize];
+        if (!prod.issued || cycle_ < prod.wakeCycle)
+            return false;
+    }
+    return true;
+}
+
+int
+OooCore::loadLatencyFor(uint64_t seq, const Slot &s)
+{
+    // Store-to-load forwarding: the youngest older in-flight store to
+    // the same 8-byte word supplies the data.
+    const auto it = storeBySeq_.find(s.op.addr >> 3);
+    if (it != storeBySeq_.end() && it->second < seq &&
+        it->second >= robHead_) {
+        const Slot &st = rob_[it->second % cfg_.robSize];
+        if (!st.issued || st.completeCycle > cycle_)
+            return -1; // memory dependence: stall in the IQ
+        return kForwardLatency;
+    }
+    MemoryHierarchy::Level level;
+    const int lat =
+        kAgenCycles + hierarchy_.loadLatency(s.op.addr, &level);
+    switch (level) {
+      case MemoryHierarchy::Level::L1:
+        ++statL1Hits_;
+        break;
+      case MemoryHierarchy::Level::L2:
+        ++statL1Misses_;
+        ++statL2Hits_;
+        break;
+      case MemoryHierarchy::Level::Memory:
+        ++statL1Misses_;
+        ++statL2Misses_;
+        break;
+    }
+    return lat;
+}
+
+void
+OooCore::doCommit()
+{
+    uint32_t commits = 0;
+    while (commits < cfg_.width && robHead_ < robTail_ &&
+           committed_ < commitTarget_) {
+        Slot &s = rob_[robHead_ % cfg_.robSize];
+        if (!s.issued || s.completeCycle > cycle_)
+            break;
+        if (s.op.isStore()) {
+            hierarchy_.storeTouch(s.op.addr);
+            const auto it = storeBySeq_.find(s.op.addr >> 3);
+            if (it != storeBySeq_.end() && it->second == robHead_)
+                storeBySeq_.erase(it);
+        }
+        if (s.op.isMem())
+            --lsqCount_;
+        if (s.op.isLoad())
+            ++statLoads_;
+        if (s.op.isStore())
+            ++statStores_;
+        if (s.op.cls == OpClass::CondBranch) {
+            ++statBranches_;
+            if (s.mispredict)
+                ++statMispredicts_;
+        }
+        ++robHead_;
+        ++committed_;
+        ++commits;
+    }
+}
+
+void
+OooCore::doIssue()
+{
+    uint32_t issued = 0;
+    uint32_t alu_used = 0, mul_used = 0, mem_used = 0;
+    size_t keep = 0;
+    for (size_t i = 0; i < iq_.size(); ++i) {
+        const uint64_t seq = iq_[i];
+        Slot &s = rob_[seq % cfg_.robSize];
+        if (issued >= cfg_.width) {
+            iq_[keep++] = seq;
+            continue;
+        }
+
+        // Functional-unit availability.
+        int lat = 1;
+        switch (s.op.cls) {
+          case OpClass::IntAlu:
+          case OpClass::CondBranch:
+          case OpClass::Jump:
+            if (alu_used >= cfg_.width) {
+                iq_[keep++] = seq;
+                continue;
+            }
+            break;
+          case OpClass::IntMul:
+            if (mul_used >= mulUnits_) {
+                iq_[keep++] = seq;
+                continue;
+            }
+            break;
+          case OpClass::Load:
+          case OpClass::Store:
+            if (mem_used >= kMemPorts) {
+                iq_[keep++] = seq;
+                continue;
+            }
+            break;
+        }
+
+        if (!ready(seq, s)) {
+            iq_[keep++] = seq;
+            continue;
+        }
+
+        switch (s.op.cls) {
+          case OpClass::IntAlu:
+          case OpClass::CondBranch:
+          case OpClass::Jump:
+            lat = 1;
+            ++alu_used;
+            break;
+          case OpClass::IntMul:
+            lat = kMulLatency;
+            ++mul_used;
+            break;
+          case OpClass::Store:
+            lat = kAgenCycles;
+            ++mem_used;
+            break;
+          case OpClass::Load: {
+            const int load_lat = loadLatencyFor(seq, s);
+            if (load_lat < 0) {
+                // Blocked on an unexecuted older store.
+                iq_[keep++] = seq;
+                continue;
+            }
+            lat = load_lat;
+            ++mem_used;
+            break;
+          }
+        }
+
+        s.issued = true;
+        s.completeCycle = cycle_ + static_cast<uint64_t>(lat);
+        s.wakeCycle = cycle_ + std::max<uint64_t>(
+            static_cast<uint64_t>(lat),
+            1ULL + static_cast<uint64_t>(awaken_));
+        ++issued;
+
+        if (s.op.cls == OpClass::CondBranch && s.mispredict) {
+            // Resolution redirects the front end; the refill cost is
+            // the per-instruction front-end delay at dispatch.
+            nextFetchCycle_ = s.completeCycle;
+            fetchBlocked_ = false;
+        }
+    }
+    iq_.resize(keep);
+}
+
+void
+OooCore::doDispatch()
+{
+    uint32_t dispatched = 0;
+    while (dispatched < cfg_.width && !fetchBuf_.empty()) {
+        const Fetched &f = fetchBuf_.front();
+        if (f.fetchCycle + static_cast<uint64_t>(feStages_) > cycle_)
+            break; // still in the front-end pipe
+        if (robTail_ - robHead_ >= cfg_.robSize)
+            break; // ROB full
+        if (iq_.size() >= cfg_.iqSize)
+            break; // IQ full
+        if (f.op.isMem() && lsqCount_ >= cfg_.lsqSize)
+            break; // LSQ full
+
+        Slot &s = rob_[robTail_ % cfg_.robSize];
+        s = Slot{};
+        s.op = f.op;
+        s.fetchCycle = f.fetchCycle;
+        s.mispredict = f.mispredict;
+        iq_.push_back(robTail_);
+        if (f.op.isMem())
+            ++lsqCount_;
+        if (f.op.isStore())
+            storeBySeq_[f.op.addr >> 3] = robTail_;
+        ++robTail_;
+        ++dispatched;
+        fetchBuf_.pop_front();
+    }
+}
+
+void
+OooCore::doFetch(SyntheticWorkload &workload)
+{
+    if (fetchBlocked_ || cycle_ < nextFetchCycle_)
+        return;
+    uint32_t fetched = 0;
+    while (fetched < cfg_.width && fetchBuf_.size() < fetchBufCap_) {
+        const MicroOp &op = workload.next();
+        Fetched f;
+        f.op = op;
+        f.fetchCycle = cycle_;
+        if (op.cls == OpClass::CondBranch)
+            f.mispredict = !predictor_.predict(op.pc, op.taken);
+        fetchBuf_.push_back(f);
+        ++fetched;
+        if (f.mispredict) {
+            // Fetch stops until the branch resolves (trace-driven
+            // misprediction model; no wrong path is simulated).
+            fetchBlocked_ = true;
+            break;
+        }
+        if (op.isControl() && op.taken)
+            break; // a taken control op ends the fetch group
+    }
+}
+
+SimStats
+OooCore::run(SyntheticWorkload &workload, uint64_t measure,
+             uint64_t warmup)
+{
+    // Reset all machine state.
+    hierarchy_.reset();
+    predictor_.reset();
+    fetchBuf_.clear();
+    storeBySeq_.clear();
+    iq_.clear();
+    cycle_ = 0;
+    robHead_ = robTail_ = 0;
+    lsqCount_ = 0;
+    fetchBlocked_ = false;
+    nextFetchCycle_ = 0;
+    committed_ = 0;
+    statLoads_ = statStores_ = 0;
+    statL1Hits_ = statL1Misses_ = 0;
+    statL2Hits_ = statL2Misses_ = 0;
+    statBranches_ = statMispredicts_ = 0;
+    statRobOccSum_ = 0;
+
+    // Functional warmup: stream addresses through the hierarchy and
+    // outcomes through the predictor with no timing, so that large
+    // caches are warm even in short timed windows (a timed warmup of
+    // the same length would leave multi-megabyte L2s cold and bias
+    // the exploration against capacity).
+    for (uint64_t i = 0; i < warmup; ++i) {
+        const MicroOp &op = workload.next();
+        if (op.isLoad())
+            hierarchy_.loadLatency(op.addr);
+        else if (op.isStore())
+            hierarchy_.storeTouch(op.addr);
+        else if (op.cls == OpClass::CondBranch)
+            predictor_.predict(op.pc, op.taken);
+    }
+
+    commitTarget_ = measure;
+    const uint64_t cycle_guard = 2000 * measure + 10000000ULL;
+    while (committed_ < measure) {
+        doCommit();
+        doIssue();
+        doDispatch();
+        doFetch(workload);
+        statRobOccSum_ += robTail_ - robHead_;
+        ++cycle_;
+        if (cycle_ > cycle_guard)
+            panic("OooCore: no forward progress after %llu cycles "
+                  "(config %s)",
+                  static_cast<unsigned long long>(cycle_),
+                  cfg_.name.c_str());
+    }
+
+    SimStats out;
+    out.clockNs = cfg_.clockNs;
+    out.instructions = committed_;
+    out.cycles = cycle_;
+    out.loads = statLoads_;
+    out.stores = statStores_;
+    out.l1Hits = statL1Hits_;
+    out.l1Misses = statL1Misses_;
+    out.l2Hits = statL2Hits_;
+    out.l2Misses = statL2Misses_;
+    out.condBranches = statBranches_;
+    out.mispredicts = statMispredicts_;
+    out.robOccupancySum = statRobOccSum_;
+    return out;
+}
+
+} // namespace xps

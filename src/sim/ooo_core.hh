@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The cycle-level out-of-order superscalar core model — the
+ * reproduction's stand-in for SimpleScalar's sim-mase (DESIGN.md §2).
+ *
+ * Modelled per cycle, oldest-first:
+ *   commit   : up to `width` completed instructions leave the ROB; a
+ *              committing store writes the cache hierarchy.
+ *   issue    : up to `width` ready instructions issue from the issue
+ *              queue, subject to ALU / multiplier / cache-port limits;
+ *              a dependent instruction may issue no earlier than its
+ *              producer's wake cycle (producer issue + max(execution
+ *              latency, 1 + awaken latency)), so a deeper scheduler
+ *              (awaken latency = schedDepth-1) breaks back-to-back
+ *              dependent execution — the central clock/IPC coupling of
+ *              the paper's Figure 2.
+ *   dispatch : up to `width` fetched instructions enter ROB + IQ (+
+ *              LSQ for memory ops) once their front-end delay
+ *              (frontEndStages cycles, derived from the fixed 2ns
+ *              front-end latency and the clock) has elapsed; stalls
+ *              when any structure is full.
+ *   fetch    : up to `width` instructions per cycle from the trace; a
+ *              taken control instruction ends the fetch group; a
+ *              mispredicted conditional branch blocks fetch until it
+ *              resolves (trace-driven misprediction model: the wrong
+ *              path is not simulated, the fetch redirect is).
+ *
+ * Loads probe the hierarchy at issue (address generation = 1 cycle);
+ * store-to-load forwarding is modelled through an in-flight store
+ * table; a load whose producing store has not yet executed stalls in
+ * the IQ (memory dependence). Misses overlap freely up to the cache
+ * ports (2 per cycle, the Table-1 port count).
+ *
+ * Simplifications versus sim-mase, none of which change the relative
+ * configuration sensitivities the exploration depends on: perfect
+ * I-cache, no wrong-path execution, unlimited MSHRs beyond the port
+ * limit, stores complete at commit with their latency hidden.
+ */
+
+#ifndef XPS_SIM_OOO_CORE_HH
+#define XPS_SIM_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "sim/sim_stats.hh"
+#include "workload/branch_predictor.hh"
+#include "workload/generator.hh"
+
+namespace xps
+{
+
+/** One core executing one workload stream. */
+class OooCore
+{
+  public:
+    OooCore(const CoreConfig &cfg,
+            const Technology &tech = Technology::defaultTech());
+
+    /**
+     * Run the workload for `warmup` + `measure` committed
+     * instructions and return statistics for the measurement window.
+     */
+    SimStats run(SyntheticWorkload &workload, uint64_t measure,
+                 uint64_t warmup);
+
+    const CoreConfig &config() const { return cfg_; }
+
+  private:
+    /** Per-instruction in-flight state (ROB slot). */
+    struct Slot
+    {
+        MicroOp op;
+        uint64_t fetchCycle = 0;
+        uint64_t completeCycle = 0; ///< valid once issued
+        uint64_t wakeCycle = 0;     ///< when dependents may issue
+        bool issued = false;
+        bool mispredict = false;
+    };
+
+    /** An instruction between fetch and dispatch. */
+    struct Fetched
+    {
+        MicroOp op;
+        uint64_t fetchCycle = 0;
+        bool mispredict = false;
+    };
+
+    Slot &slot(uint64_t seq) { return rob_[seq % cfg_.robSize]; }
+
+    void doCommit();
+    void doIssue();
+    void doDispatch();
+    void doFetch(SyntheticWorkload &workload);
+    bool ready(uint64_t seq, const Slot &s) const;
+    int loadLatencyFor(uint64_t seq, const Slot &s);
+
+    CoreConfig cfg_;
+    const Technology &tech_;
+
+    // Derived once per run.
+    int feStages_;
+    int awaken_;
+    uint32_t mulUnits_;
+    static constexpr uint32_t kMemPorts = 2;
+    static constexpr int kAgenCycles = 1;
+    static constexpr int kMulLatency = 4;
+    static constexpr int kForwardLatency = 2;
+
+    MemoryHierarchy hierarchy_;
+    BranchPredictor predictor_;
+
+    std::vector<Slot> rob_;
+    /** Sequence numbers of dispatched, not-yet-issued instructions,
+     *  oldest first (the issue queue). Compacted every cycle, so the
+     *  per-cycle issue scan is O(iqSize) regardless of ROB size. */
+    std::vector<uint64_t> iq_;
+    std::deque<Fetched> fetchBuf_;
+    size_t fetchBufCap_ = 0;
+
+    uint64_t cycle_ = 0;
+    uint64_t robHead_ = 0; ///< seq of oldest in flight
+    uint64_t robTail_ = 0; ///< seq of next allocation
+    uint32_t lsqCount_ = 0;
+    bool fetchBlocked_ = false;
+    uint64_t nextFetchCycle_ = 0;
+    uint64_t committed_ = 0;
+    uint64_t commitTarget_ = 0; ///< stop committing exactly here
+
+    /** Latest in-flight store per 8-byte-aligned address. */
+    std::unordered_map<uint64_t, uint64_t> storeBySeq_;
+
+    // Raw counters (SimStats deltas are taken around warmup).
+    uint64_t statLoads_ = 0, statStores_ = 0;
+    uint64_t statL1Hits_ = 0, statL1Misses_ = 0;
+    uint64_t statL2Hits_ = 0, statL2Misses_ = 0;
+    uint64_t statBranches_ = 0, statMispredicts_ = 0;
+    uint64_t statRobOccSum_ = 0;
+};
+
+} // namespace xps
+
+#endif // XPS_SIM_OOO_CORE_HH

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Statistics returned by one timing simulation. IPT (instructions per
+ * time unit — here, per nanosecond) is the paper's figure of merit:
+ * IPT = IPC / clock period, so it rewards both cycle efficiency and
+ * clock speed.
+ */
+
+#ifndef XPS_SIM_SIM_STATS_HH
+#define XPS_SIM_SIM_STATS_HH
+
+#include <cstdint>
+
+namespace xps
+{
+
+/** Outcome of a simulation run (measurement window only). */
+struct SimStats
+{
+    uint64_t instructions = 0;
+    uint64_t cycles = 0;
+    double clockNs = 1.0;
+
+    uint64_t condBranches = 0;
+    uint64_t mispredicts = 0;
+
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t l1Hits = 0;
+    uint64_t l1Misses = 0;
+    uint64_t l2Hits = 0;
+    uint64_t l2Misses = 0;
+
+    /** Sum of per-cycle ROB occupancy (for the average). */
+    uint64_t robOccupancySum = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0 :
+            static_cast<double>(instructions) /
+            static_cast<double>(cycles);
+    }
+
+    /** Instructions per nanosecond — the paper's IPT. */
+    double ipt() const { return ipc() / clockNs; }
+
+    double
+    mispredictRate() const
+    {
+        return condBranches == 0 ? 0.0 :
+            static_cast<double>(mispredicts) /
+            static_cast<double>(condBranches);
+    }
+
+    double
+    l1MissRate() const
+    {
+        const uint64_t total = l1Hits + l1Misses;
+        return total == 0 ? 0.0 :
+            static_cast<double>(l1Misses) / static_cast<double>(total);
+    }
+
+    double
+    l2MissRate() const
+    {
+        const uint64_t total = l2Hits + l2Misses;
+        return total == 0 ? 0.0 :
+            static_cast<double>(l2Misses) / static_cast<double>(total);
+    }
+
+    double
+    avgRobOccupancy() const
+    {
+        return cycles == 0 ? 0.0 :
+            static_cast<double>(robOccupancySum) /
+            static_cast<double>(cycles);
+    }
+};
+
+} // namespace xps
+
+#endif // XPS_SIM_SIM_STATS_HH

@@ -1,0 +1,19 @@
+#include "sim/simulator.hh"
+
+#include "sim/ooo_core.hh"
+#include "workload/generator.hh"
+
+namespace xps
+{
+
+SimStats
+simulate(const WorkloadProfile &profile, const CoreConfig &config,
+         const SimOptions &opts)
+{
+    SyntheticWorkload workload(profile, opts.streamId);
+    OooCore core(config);
+    return core.run(workload, opts.measureInstrs,
+                    opts.effectiveWarmup());
+}
+
+} // namespace xps

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * One-call simulation facade: profile + configuration -> SimStats.
+ * This is the evaluation primitive that the annealer, the
+ * cross-configuration matrix and the examples all share.
+ */
+
+#ifndef XPS_SIM_SIMULATOR_HH
+#define XPS_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "sim/config.hh"
+#include "sim/sim_stats.hh"
+#include "workload/profile.hh"
+
+namespace xps
+{
+
+/** Options for one simulation run. */
+struct SimOptions
+{
+    /** Committed instructions in the measurement window. */
+    uint64_t measureInstrs = 100000;
+    /** Functional-warmup instructions (caches/predictor train with
+     *  no timing; cheap). Default: same as the measurement window. */
+    uint64_t warmupInstrs = UINT64_MAX; ///< UINT64_MAX = measure
+    /** Decorrelates the workload stream across runs. */
+    uint64_t streamId = 0;
+
+    uint64_t
+    effectiveWarmup() const
+    {
+        return warmupInstrs == UINT64_MAX ? measureInstrs
+                                          : warmupInstrs;
+    }
+};
+
+/**
+ * Simulate `profile` on `config`. Deterministic for fixed arguments.
+ * The configuration is validated against the default technology's
+ * timing model (fatal if any unit does not fit its stage budget).
+ */
+SimStats simulate(const WorkloadProfile &profile,
+                  const CoreConfig &config,
+                  const SimOptions &opts = SimOptions{});
+
+} // namespace xps
+
+#endif // XPS_SIM_SIMULATOR_HH

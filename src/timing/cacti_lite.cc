@@ -1,0 +1,102 @@
+#include "timing/cacti_lite.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+namespace
+{
+
+double
+log2d(double x)
+{
+    return std::log2(x);
+}
+
+} // namespace
+
+double
+CactiLite::decodeTime(uint64_t sets) const
+{
+    if (sets == 0)
+        panic("CactiLite: zero sets");
+    if (sets == 1)
+        return 0.0; // fully associative arrays have no row decoder
+    return tech_.decodeBase + tech_.decodePerBit * log2d(
+        static_cast<double>(sets));
+}
+
+double
+CactiLite::arrayTime(uint64_t capacity_bytes, uint32_t ports) const
+{
+    if (ports == 0)
+        panic("CactiLite: zero ports");
+    // Multi-porting inflates the cell, lengthening word/bit lines; a
+    // sub-banked mat keeps delay proportional to sqrt(area).
+    const double port_scale = 1.0 + tech_.portFactor *
+        static_cast<double>(ports - 1);
+    return tech_.arrayCoeff *
+        std::sqrt(static_cast<double>(capacity_bytes)) * port_scale;
+}
+
+double
+CactiLite::tagTime(uint32_t assoc) const
+{
+    if (assoc == 0)
+        panic("CactiLite: zero associativity");
+    if (assoc == 1)
+        return 0.0; // direct mapped: no way mux in the data path
+    return tech_.tagBase + tech_.tagPerWayBit * log2d(
+        static_cast<double>(assoc));
+}
+
+double
+CactiLite::accessTime(const ArrayGeometry &geom) const
+{
+    return decodeTime(geom.sets) +
+           arrayTime(geom.capacityBytes(),
+                     geom.readPorts + geom.writePorts) +
+           tagTime(geom.assoc) + tech_.senseAmp + tech_.outputDriver;
+}
+
+double
+CactiLite::dataPathTime(const ArrayGeometry &geom) const
+{
+    return accessTime(geom) - tech_.outputDriver;
+}
+
+double
+CactiLite::camMatchTime(uint64_t entries, uint32_t ports) const
+{
+    if (entries == 0)
+        panic("CactiLite: zero CAM entries");
+    const double port_scale = 1.0 + tech_.camPortFactor *
+        static_cast<double>(ports > 0 ? ports - 1 : 0);
+    return (tech_.camBase + tech_.camPerEntry *
+            static_cast<double>(entries)) * port_scale;
+}
+
+double
+CactiLite::selectTime(uint64_t requesters, uint32_t grants) const
+{
+    if (requesters == 0)
+        panic("CactiLite: zero select requesters");
+    const double levels = std::ceil(
+        log2d(static_cast<double>(requesters < 2 ? 2 : requesters)));
+    const double grant_scale = 1.0 + tech_.selectWidthFactor *
+        static_cast<double>(grants > 0 ? grants - 1 : 0);
+    return (tech_.selectBase + tech_.selectPerLevel * levels) *
+        grant_scale;
+}
+
+const Technology &
+Technology::defaultTech()
+{
+    static const Technology tech{};
+    return tech;
+}
+
+} // namespace xps

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * cacti-lite: an analytical SRAM/CAM access-time model standing in for
+ * the CACTI tool the paper uses (Wilton & Jouppi, JSSC 1996).
+ *
+ * Only the *relative scaling* of access time with geometry matters for
+ * the fitting constraint that couples the processor units through the
+ * unified clock, so the model keeps CACTI's structure but not its
+ * transistor-level detail:
+ *
+ *   access = decode(sets) + array(capacity, ports)
+ *          + tag(assoc) + sense + output driver
+ *
+ * with the data array scaling as sqrt(capacity) (an ideally sub-banked
+ * mat), ports inflating cell area and hence wire length, and the tag
+ * path growing with log2(associativity). CAM structures (issue-queue
+ * wakeup, LSQ search) use a broadcast-wire model linear in the entry
+ * count. Select logic is an arbitration tree, logarithmic in the
+ * number of requesters and widened by the grant count.
+ *
+ * Calibration targets (90nm-class, 2 GHz-era, in ns):
+ *   8KB  direct-mapped 2r2w L1    ~ 0.6
+ *   64KB 2-way        2r2w L1    ~ 1.1
+ *   2MB  16-way       2r2w L2    ~ 4.5
+ *   64-entry wakeup+select @w4   ~ 0.45
+ * These are asserted (with tolerance) in tests/timing.
+ */
+
+#ifndef XPS_TIMING_CACTI_LITE_HH
+#define XPS_TIMING_CACTI_LITE_HH
+
+#include <cstdint>
+
+#include "timing/technology.hh"
+
+namespace xps
+{
+
+/** Geometry of one SRAM array, mirroring the paper's Table 1 inputs. */
+struct ArrayGeometry
+{
+    uint64_t sets = 1;       ///< number of sets (rows)
+    uint32_t assoc = 1;      ///< ways per set (1 = direct mapped)
+    uint32_t lineBytes = 8;  ///< bytes per way per set
+    uint32_t readPorts = 1;
+    uint32_t writePorts = 1;
+
+    /** Total data capacity in bytes. */
+    uint64_t capacityBytes() const
+    {
+        return sets * assoc * lineBytes;
+    }
+};
+
+/**
+ * The access-time model. Stateless aside from the Technology
+ * coefficients; cheap enough to call millions of times during
+ * exploration.
+ */
+class CactiLite
+{
+  public:
+    explicit CactiLite(const Technology &tech = Technology::defaultTech())
+        : tech_(tech)
+    {}
+
+    /** Full SRAM access time ("Access time" in CACTI's output). */
+    double accessTime(const ArrayGeometry &geom) const;
+
+    /** Data path without the output driver (Table 1 uses this for the
+     *  select portion of wakeup-select and for the LSQ). */
+    double dataPathTime(const ArrayGeometry &geom) const;
+
+    /** Tag comparison time of a fully associative (CAM) structure with
+     *  the given number of entries and broadcast ports. */
+    double camMatchTime(uint64_t entries, uint32_t ports) const;
+
+    /** Arbitration (select) tree over `requesters` entries issuing up
+     *  to `grants` operations per cycle. */
+    double selectTime(uint64_t requesters, uint32_t grants) const;
+
+    const Technology &tech() const { return tech_; }
+
+  private:
+    double decodeTime(uint64_t sets) const;
+    double arrayTime(uint64_t capacity_bytes, uint32_t ports) const;
+    double tagTime(uint32_t assoc) const;
+
+    const Technology &tech_;
+};
+
+} // namespace xps
+
+#endif // XPS_TIMING_CACTI_LITE_HH

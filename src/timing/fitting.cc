@@ -1,0 +1,120 @@
+#include "timing/fitting.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+namespace candidates
+{
+
+const std::vector<uint32_t> &
+iqSizes()
+{
+    static const std::vector<uint32_t> v{16, 32, 64, 128, 256};
+    return v;
+}
+
+const std::vector<uint32_t> &
+robSizes()
+{
+    static const std::vector<uint32_t> v{32, 64, 128, 256, 512, 1024};
+    return v;
+}
+
+const std::vector<uint32_t> &
+lsqSizes()
+{
+    static const std::vector<uint32_t> v{16, 32, 64, 128, 256};
+    return v;
+}
+
+const std::vector<uint32_t> &
+widths()
+{
+    static const std::vector<uint32_t> v{1, 2, 3, 4, 5, 6, 7, 8};
+    return v;
+}
+
+const std::vector<uint64_t> &
+cacheSets()
+{
+    static const std::vector<uint64_t> v{
+        32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384, 32768};
+    return v;
+}
+
+const std::vector<uint32_t> &
+cacheAssocs()
+{
+    static const std::vector<uint32_t> v{1, 2, 4, 8, 16};
+    return v;
+}
+
+const std::vector<uint32_t> &
+cacheLines()
+{
+    static const std::vector<uint32_t> v{8, 16, 32, 64, 128, 256, 512};
+    return v;
+}
+
+} // namespace candidates
+
+uint32_t
+maxFitting(const UnitTiming &timing, const std::vector<uint32_t> &options,
+           const std::function<double(uint32_t)> &delay_of,
+           int depth, double clock_ns)
+{
+    uint32_t best = 0;
+    for (uint32_t opt : options) {
+        if (timing.fits(delay_of(opt), depth, clock_ns))
+            best = std::max(best, opt);
+    }
+    return best;
+}
+
+std::vector<CacheGeom>
+cacheGeometriesFitting(const UnitTiming &timing, int depth,
+                       double clock_ns, uint64_t max_capacity)
+{
+    std::vector<CacheGeom> out;
+    for (uint64_t sets : candidates::cacheSets()) {
+        for (uint32_t assoc : candidates::cacheAssocs()) {
+            for (uint32_t line : candidates::cacheLines()) {
+                CacheGeom geom{sets, assoc, line};
+                if (geom.capacityBytes() > max_capacity)
+                    continue;
+                if (timing.fits(timing.cacheAccess(sets, assoc, line),
+                                depth, clock_ns)) {
+                    out.push_back(geom);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+bool
+maxCapacityCacheFitting(const UnitTiming &timing, int depth,
+                        double clock_ns, uint64_t max_capacity,
+                        CacheGeom &out)
+{
+    const auto all =
+        cacheGeometriesFitting(timing, depth, clock_ns, max_capacity);
+    if (all.empty())
+        return false;
+    out = *std::max_element(
+        all.begin(), all.end(),
+        [](const CacheGeom &a, const CacheGeom &b) {
+            if (a.capacityBytes() != b.capacityBytes())
+                return a.capacityBytes() < b.capacityBytes();
+            if (a.assoc != b.assoc)
+                return a.assoc > b.assoc; // prefer fewer ways
+            return a.lineBytes < b.lineBytes; // then larger lines
+        });
+    return true;
+}
+
+} // namespace xps

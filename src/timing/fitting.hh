@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Discrete fitting helpers: given a stage count and clock period, find
+ * the largest structure (or the set of cache geometries) whose access
+ * time fits the stage budget. These implement the "adjusted to make
+ * their access times fit within the number of pipeline stages assigned
+ * to them" step of the paper's exploration loop (§3).
+ */
+
+#ifndef XPS_TIMING_FITTING_HH
+#define XPS_TIMING_FITTING_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "timing/unit_timing.hh"
+
+namespace xps
+{
+
+/** A candidate cache shape (power-of-two fields). */
+struct CacheGeom
+{
+    uint64_t sets = 64;
+    uint32_t assoc = 1;
+    uint32_t lineBytes = 32;
+
+    uint64_t capacityBytes() const
+    {
+        return sets * assoc * lineBytes;
+    }
+
+    bool operator==(const CacheGeom &other) const = default;
+};
+
+/** Discrete candidate axes explored by xp-scalar. */
+namespace candidates
+{
+/** Issue-queue sizes. */
+const std::vector<uint32_t> &iqSizes();
+/** ROB / register-file sizes. */
+const std::vector<uint32_t> &robSizes();
+/** Load-store-queue sizes. */
+const std::vector<uint32_t> &lsqSizes();
+/** Dispatch/issue/commit widths. */
+const std::vector<uint32_t> &widths();
+/** Cache set counts. */
+const std::vector<uint64_t> &cacheSets();
+/** Cache associativities. */
+const std::vector<uint32_t> &cacheAssocs();
+/** Cache line sizes (CACTI floor of 8 bytes, per the paper). */
+const std::vector<uint32_t> &cacheLines();
+} // namespace candidates
+
+/**
+ * Largest value from `options` (assumed ascending) whose delay,
+ * computed by `delay_of`, fits `depth` stages at `clock_ns`.
+ * Returns 0 when even the smallest does not fit.
+ */
+uint32_t maxFitting(const UnitTiming &timing,
+                    const std::vector<uint32_t> &options,
+                    const std::function<double(uint32_t)> &delay_of,
+                    int depth, double clock_ns);
+
+/**
+ * All cache geometries whose access time fits `depth` stages at
+ * `clock_ns`. Capped at `max_capacity` bytes to bound the search
+ * (e.g. L1 vs L2 bounds differ).
+ */
+std::vector<CacheGeom> cacheGeometriesFitting(const UnitTiming &timing,
+                                              int depth, double clock_ns,
+                                              uint64_t max_capacity);
+
+/**
+ * The maximum-capacity geometry that fits (ties broken toward fewer
+ * ways, then larger lines). Returns false when nothing fits.
+ */
+bool maxCapacityCacheFitting(const UnitTiming &timing, int depth,
+                             double clock_ns, uint64_t max_capacity,
+                             CacheGeom &out);
+
+} // namespace xps
+
+#endif // XPS_TIMING_FITTING_HH

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Technology constants for the cacti-lite access-time model and the
+ * fixed design parameters of the paper's Table 2.
+ *
+ * The paper feeds CACTI (Wilton & Jouppi) with the unit geometries of
+ * Table 1 and uses the resulting access times to decide what fits in a
+ * pipeline stage. We replace CACTI with an analytical model whose
+ * coefficients are calibrated to a 90nm-class process (see
+ * cacti_lite.hh); this struct is the single place those coefficients
+ * live, so a different technology is one struct away.
+ */
+
+#ifndef XPS_TIMING_TECHNOLOGY_HH
+#define XPS_TIMING_TECHNOLOGY_HH
+
+namespace xps
+{
+
+/**
+ * Technology and modelling constants. All delays are in nanoseconds.
+ *
+ * The first block mirrors the paper's Table 2 (fixed design parameters
+ * across all configurations). The second block holds the cacti-lite
+ * coefficients; their calibration targets are documented with the
+ * model itself.
+ */
+struct Technology
+{
+    // --- Table 2: fixed design parameters -------------------------------
+    /** Main-memory access latency (load missing all cache levels). */
+    double memLatencyNs = 50.0;
+    /** Front-end latency: fetch + decode + rename in ns; the extra
+     *  branch-misprediction penalty. */
+    double frontEndLatencyNs = 2.0;
+    /** Bit width of an issue-queue entry (CACTI lower bound: 8B). */
+    int iqEntryBits = 64;
+    /** Per-stage latch (pipeline register) latency. */
+    double latchLatencyNs = 0.03;
+
+    // --- cacti-lite coefficients ----------------------------------------
+    /** Decoder: base + per-address-bit delay. */
+    double decodeBase = 0.040;
+    double decodePerBit = 0.009;
+    /** Data array: delay grows with sqrt(capacity) (sub-banked mat). */
+    double arrayCoeff = 0.0030;
+    /** Multiplicative penalty per port beyond the first. */
+    double portFactor = 0.055;
+    /** Tag path: base + per-log2(assoc) way-compare/mux delay. */
+    double tagBase = 0.040;
+    double tagPerWayBit = 0.014;
+    /** Sense amplifier and output driver. */
+    double senseAmp = 0.050;
+    double outputDriver = 0.040;
+    /** Register files are banked/replicated in practice, so their
+     *  port penalty is milder than a naive multi-ported cell. */
+    double regfilePortFactor = 0.015;
+    /** CAM (fully associative match): base + per-entry broadcast-wire
+     *  delay, with a port penalty like the SRAM one. */
+    double camBase = 0.040;
+    double camPerEntry = 0.00080;
+    double camPortFactor = 0.030;
+    /** Select (arbitration) tree: base + per-level delay, widened by
+     *  the number of grants (issue width). */
+    double selectBase = 0.025;
+    double selectPerLevel = 0.015;
+    double selectWidthFactor = 0.040;
+
+    /** The default modelled technology. */
+    static const Technology &defaultTech();
+};
+
+} // namespace xps
+
+#endif // XPS_TIMING_TECHNOLOGY_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Per-unit access-time functions implementing the paper's Table 1: the
+ * mapping from architectural parameters (issue-queue size, ROB size,
+ * LSQ size, cache geometry, issue width) to cacti-lite array
+ * geometries, and the pipeline-fitting rule that couples those delays
+ * to the unified clock.
+ *
+ * Table 1 of the paper:
+ *   L1/L2 data cache : line/assoc/sets as configured, 2r2w ports,
+ *                      "access time"
+ *   wakeup-select    : 8-byte entries, fully associative CAM over
+ *                      2x IQ-size with issue-width ports ("tag
+ *                      comparison") plus a direct-mapped payload array
+ *                      of IQ-size with issue-width read ports ("total
+ *                      data-path without output driver")
+ *   reg. file (ROB)  : 8-byte entries, direct mapped, ROB-size sets,
+ *                      2x width read / width write ports, "access time"
+ *   LSQ              : 8-byte entries, fully associative, LSQ-size,
+ *                      2r2w, "total data-path without output driver"
+ */
+
+#ifndef XPS_TIMING_UNIT_TIMING_HH
+#define XPS_TIMING_UNIT_TIMING_HH
+
+#include <cstdint>
+
+#include "timing/cacti_lite.hh"
+
+namespace xps
+{
+
+/**
+ * Access-time oracle for every pipelined unit of the modelled
+ * superscalar core. Thin, stateless wrapper over CactiLite.
+ */
+class UnitTiming
+{
+  public:
+    explicit UnitTiming(const Technology &tech = Technology::defaultTech())
+        : cacti_(tech)
+    {}
+
+    /** Data-cache access time (L1 and L2 share the model). */
+    double cacheAccess(uint64_t sets, uint32_t assoc,
+                       uint32_t line_bytes) const;
+
+    /** Issue-queue wakeup (CAM match over 2x size, width ports). */
+    double iqWakeup(uint32_t iq_size, uint32_t width) const;
+
+    /** Issue-queue select: arbitration tree plus payload read. */
+    double iqSelect(uint32_t iq_size, uint32_t width) const;
+
+    /** Total scheduling-loop delay (wakeup + select). */
+    double iqTotal(uint32_t iq_size, uint32_t width) const;
+
+    /** Register-file / ROB read (2w read, w write ports, banked). */
+    double regfileAccess(uint32_t rob_size, uint32_t width) const;
+
+    /** Load-store queue search (CAM, data path w/o output driver). */
+    double lsqSearch(uint32_t lsq_size) const;
+
+    /**
+     * Pipeline-fitting rule (paper §3): a unit with access time
+     * `delay` fits `depth` stages of a clock with period `clock` when
+     *   delay <= depth * clock - depth * latch latency,
+     * i.e. each stage loses one latch of useful time.
+     */
+    bool fits(double delay, int depth, double clock_ns) const;
+
+    /** Usable time budget of `depth` stages at `clock_ns`. */
+    double budget(int depth, double clock_ns) const;
+
+    /** Minimum number of stages needed for `delay` at `clock_ns`. */
+    int stagesNeeded(double delay, double clock_ns) const;
+
+    const Technology &tech() const { return cacti_.tech(); }
+    const CactiLite &cacti() const { return cacti_; }
+
+  private:
+    CactiLite cacti_;
+};
+
+} // namespace xps
+
+#endif // XPS_TIMING_UNIT_TIMING_HH

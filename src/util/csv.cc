@@ -1,0 +1,106 @@
+#include "util/csv.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+size_t
+CsvDoc::column(const std::string &name) const
+{
+    for (size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return i;
+    }
+    fatal("CsvDoc: no column named '%s'", name.c_str());
+}
+
+namespace
+{
+
+void
+checkCell(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") != std::string::npos)
+        fatal("CSV cell '%s' needs quoting, which is unsupported",
+              cell.c_str());
+}
+
+std::vector<std::string>
+splitLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream in(line);
+    while (std::getline(in, cell, ','))
+        cells.push_back(cell);
+    if (!line.empty() && line.back() == ',')
+        cells.emplace_back();
+    return cells;
+}
+
+} // namespace
+
+void
+writeCsv(const std::string &path, const CsvDoc &doc)
+{
+    const std::filesystem::path fs_path(path);
+    if (fs_path.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(fs_path.parent_path(), ec);
+        if (ec)
+            fatal("cannot create directory for %s: %s",
+                  path.c_str(), ec.message().c_str());
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("cannot open %s for writing", path.c_str());
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (size_t i = 0; i < cells.size(); ++i) {
+            checkCell(cells[i]);
+            out << (i ? "," : "") << cells[i];
+        }
+        out << '\n';
+    };
+    emit(doc.header);
+    for (const auto &row : doc.rows) {
+        if (row.size() != doc.header.size())
+            fatal("writeCsv: row width %zu != header width %zu",
+                  row.size(), doc.header.size());
+        emit(row);
+    }
+}
+
+bool
+readCsv(const std::string &path, CsvDoc &doc)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    doc.header.clear();
+    doc.rows.clear();
+    std::string line;
+    bool first = true;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        if (line.empty())
+            continue;
+        auto cells = splitLine(line);
+        if (first) {
+            doc.header = std::move(cells);
+            first = false;
+        } else {
+            if (cells.size() != doc.header.size())
+                fatal("readCsv(%s): ragged row", path.c_str());
+            doc.rows.push_back(std::move(cells));
+        }
+    }
+    return !first;
+}
+
+} // namespace xps

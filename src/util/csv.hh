@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Minimal CSV read/write used to cache exploration results between
+ * bench binaries (see DESIGN.md §5.5). Cells never contain commas or
+ * quotes in our use, so no quoting dialect is implemented; writing a
+ * cell with a comma, quote or newline is a fatal error rather than a
+ * silent corruption.
+ */
+
+#ifndef XPS_UTIL_CSV_HH
+#define XPS_UTIL_CSV_HH
+
+#include <string>
+#include <vector>
+
+namespace xps
+{
+
+/** One CSV document: a header row plus data rows. */
+struct CsvDoc
+{
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+
+    /** Column index for a header name; fatal if absent. */
+    size_t column(const std::string &name) const;
+};
+
+/** Write a document to a file, creating parent directories. */
+void writeCsv(const std::string &path, const CsvDoc &doc);
+
+/** Read a document; returns false if the file does not exist. */
+bool readCsv(const std::string &path, CsvDoc &doc);
+
+} // namespace xps
+
+#endif // XPS_UTIL_CSV_HH

@@ -1,0 +1,53 @@
+#include "util/env.hh"
+
+#include <cstdlib>
+#include <thread>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+int64_t
+envInt(const char *name, int64_t def)
+{
+    const char *val = std::getenv(name);
+    if (!val || !*val)
+        return def;
+    char *end = nullptr;
+    const long long parsed = std::strtoll(val, &end, 10);
+    if (end == val || *end != '\0')
+        fatal("environment variable %s='%s' is not an integer", name, val);
+    return parsed;
+}
+
+std::string
+envString(const char *name, const std::string &def)
+{
+    const char *val = std::getenv(name);
+    return (val && *val) ? std::string(val) : def;
+}
+
+const Budget &
+Budget::get()
+{
+    static const Budget budget = [] {
+        Budget b;
+        b.evalInstrs = static_cast<uint64_t>(
+            envInt("XPS_EVAL_INSTRS", 80000));
+        b.saIters = static_cast<uint64_t>(envInt("XPS_SA_ITERS", 360));
+        b.finalInstrs = static_cast<uint64_t>(
+            envInt("XPS_FINAL_INSTRS", 200000));
+        b.resultsDir = envString("XPS_RESULTS_DIR", "results");
+        const int hw = static_cast<int>(
+            std::thread::hardware_concurrency());
+        b.threads = static_cast<int>(
+            envInt("XPS_THREADS", hw > 0 ? hw : 2));
+        if (b.threads < 1)
+            b.threads = 1;
+        return b;
+    }();
+    return budget;
+}
+
+} // namespace xps

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Reproduction budget knobs. The paper ran its exploration for three
+ * weeks on a blade; these environment variables let the benches run the
+ * same pipeline at laptop scale while keeping every run deterministic.
+ *
+ *   XPS_EVAL_INSTRS   instructions per annealing evaluation
+ *   XPS_SA_ITERS      annealing steps per workload
+ *   XPS_FINAL_INSTRS  instructions for final cross-config evaluations
+ *   XPS_RESULTS_DIR   cache directory for exploration outputs
+ *   XPS_THREADS       worker threads for parallel exploration
+ */
+
+#ifndef XPS_UTIL_ENV_HH
+#define XPS_UTIL_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace xps
+{
+
+/** Read an integer environment variable with a default. */
+int64_t envInt(const char *name, int64_t def);
+
+/** Read a string environment variable with a default. */
+std::string envString(const char *name, const std::string &def);
+
+/** Budget knobs resolved once per process. */
+struct Budget
+{
+    uint64_t evalInstrs;   ///< instructions per annealing evaluation
+    uint64_t saIters;      ///< annealing steps per workload
+    uint64_t finalInstrs;  ///< instructions per final evaluation
+    std::string resultsDir;///< cache directory for exploration outputs
+    int threads;           ///< exploration worker threads
+
+    /** Resolve from the environment (with defaults from DESIGN.md). */
+    static const Budget &get();
+};
+
+} // namespace xps
+
+#endif // XPS_UTIL_ENV_HH

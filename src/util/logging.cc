@@ -1,0 +1,84 @@
+#include "util/logging.hh"
+
+#include <cstdarg>
+#include <cstring>
+#include <mutex>
+
+namespace xps
+{
+
+namespace
+{
+
+LogLevel g_level = [] {
+    const char *env = std::getenv("XPS_LOG");
+    if (!env)
+        return LogLevel::Normal;
+    if (!std::strcmp(env, "quiet"))
+        return LogLevel::Quiet;
+    if (!std::strcmp(env, "verbose"))
+        return LogLevel::Verbose;
+    return LogLevel::Normal;
+}();
+
+std::mutex g_mutex;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+namespace detail
+{
+
+std::string
+format(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<size_t>(n));
+        std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+    }
+    va_end(ap2);
+    return out;
+}
+
+void
+emit(const char *kind, LogLevel min_level, const std::string &msg)
+{
+    if (static_cast<int>(g_level) < static_cast<int>(min_level))
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+}
+
+void
+die(const char *kind, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(g_mutex);
+        std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());
+    }
+    if (!std::strcmp(kind, "panic"))
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace xps

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 spirit: inform() for normal
+ * progress messages, warn() for suspicious-but-survivable conditions,
+ * fatal() for user errors (bad configuration or arguments) and panic()
+ * for internal invariant violations (library bugs).
+ */
+
+#ifndef XPS_UTIL_LOGGING_HH
+#define XPS_UTIL_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace xps
+{
+
+/** Verbosity levels for inform(); fatal/panic always print. */
+enum class LogLevel { Quiet = 0, Normal = 1, Verbose = 2 };
+
+/** Get the process-wide log level (default Normal, override with
+ *  the XPS_LOG environment variable: quiet|normal|verbose). */
+LogLevel logLevel();
+
+/** Override the process-wide log level programmatically. */
+void setLogLevel(LogLevel level);
+
+namespace detail
+{
+[[noreturn]] void die(const char *kind, const std::string &msg);
+void emit(const char *kind, LogLevel min_level, const std::string &msg);
+std::string format(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+} // namespace detail
+
+/** Print an informational message (suppressed when quiet). */
+template <typename... Args>
+void
+inform(const char *fmt, Args... args)
+{
+    detail::emit("info", LogLevel::Normal, detail::format(fmt, args...));
+}
+
+/** Print a verbose progress message (only when verbose). */
+template <typename... Args>
+void
+verbose(const char *fmt, Args... args)
+{
+    detail::emit("verb", LogLevel::Verbose, detail::format(fmt, args...));
+}
+
+/** Print a warning about a survivable but suspicious condition. */
+template <typename... Args>
+void
+warn(const char *fmt, Args... args)
+{
+    detail::emit("warn", LogLevel::Quiet, detail::format(fmt, args...));
+}
+
+/** Terminate due to a user error (bad configuration, bad arguments). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const char *fmt, Args... args)
+{
+    detail::die("fatal", detail::format(fmt, args...));
+}
+
+/** Terminate due to an internal invariant violation (a library bug). */
+template <typename... Args>
+[[noreturn]] void
+panic(const char *fmt, Args... args)
+{
+    detail::die("panic", detail::format(fmt, args...));
+}
+
+} // namespace xps
+
+#endif // XPS_UTIL_LOGGING_HH

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Deterministic random-number generation for workload synthesis and
+ * annealing schedules. Everything in xp-scalar that is stochastic is
+ * seeded through one of these generators so that runs are repeatable.
+ *
+ * The core generator is xoshiro256** seeded via splitmix64, which is
+ * fast, has a 256-bit state and passes BigCrush — more than adequate
+ * for statistical workload synthesis.
+ */
+
+#ifndef XPS_UTIL_RNG_HH
+#define XPS_UTIL_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace xps
+{
+
+/** splitmix64 step; used to expand a single 64-bit seed into state. */
+constexpr uint64_t
+splitmix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with convenience draws for the distributions
+ * the workload models and the annealer need.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (expanded via splitmix64). */
+    explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL)
+    {
+        uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        // Lemire's multiply-shift rejection-free variant is overkill
+        // here; the simple multiply-high reduction has bias below
+        // 2^-32 for the n we use (structure sizes, branch sites).
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * n) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    int64_t
+    range(int64_t lo, int64_t hi)
+    {
+        return lo + static_cast<int64_t>(
+            below(static_cast<uint64_t>(hi - lo + 1)));
+    }
+
+    /** Bernoulli draw with probability p of true. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Geometric draw: number of failures before the first success with
+     * success probability p; returns values in {0, 1, 2, ...}. Used for
+     * dependence-distance and basic-block-length distributions.
+     */
+    uint64_t
+    geometric(double p)
+    {
+        if (p >= 1.0)
+            return 0;
+        if (p <= 0.0)
+            return 0; // degenerate; caller decides semantics
+        double u = uniform();
+        // Avoid log(0).
+        if (u <= 0.0)
+            u = 0x1.0p-53;
+        return static_cast<uint64_t>(std::log(u) / std::log1p(-p));
+    }
+
+    /**
+     * Bounded Zipf-like draw over [0, n): rank r is chosen with weight
+     * 1/(r+1)^s via inverse-CDF on a two-piece approximation. Used to
+     * model temporal locality of heap references (hot data dominates).
+     */
+    uint64_t
+    zipf(uint64_t n, double s)
+    {
+        if (n <= 1)
+            return 0;
+        // Inverse-transform on the continuous analogue; accurate
+        // enough for locality modelling and O(1) per draw.
+        const double u = uniform();
+        if (s == 1.0) {
+            const double h = std::log(static_cast<double>(n));
+            const uint64_t r =
+                static_cast<uint64_t>(std::exp(u * h)) - 1;
+            return r >= n ? n - 1 : r;
+        }
+        const double one_minus_s = 1.0 - s;
+        const double nn = std::pow(static_cast<double>(n), one_minus_s);
+        const double x = std::pow(u * (nn - 1.0) + 1.0, 1.0 / one_minus_s);
+        uint64_t r = static_cast<uint64_t>(x) - 1;
+        return r >= n ? n - 1 : r;
+    }
+
+    /** Standard normal draw (Box-Muller; one value per call). */
+    double
+    gaussian()
+    {
+        double u1 = uniform();
+        if (u1 <= 0.0)
+            u1 = 0x1.0p-53;
+        const double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) *
+               std::cos(6.283185307179586 * u2);
+    }
+
+    /** Fork a child generator with an independent stream. */
+    Rng
+    fork(uint64_t stream)
+    {
+        return Rng(next() ^ (stream * 0x9e3779b97f4a7c15ULL));
+    }
+
+  private:
+    static constexpr uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4];
+};
+
+} // namespace xps
+
+#endif // XPS_UTIL_RNG_HH

@@ -1,0 +1,122 @@
+#include "util/stats_util.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+double
+mean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+harmonicMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double inv_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("harmonicMean: non-positive element %g", x);
+        inv_sum += 1.0 / x;
+    }
+    return static_cast<double>(xs.size()) / inv_sum;
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("geometricMean: non-positive element %g", x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+stddev(const std::vector<double> &xs)
+{
+    if (xs.size() < 2)
+        return 0.0;
+    const double mu = mean(xs);
+    double acc = 0.0;
+    for (double x : xs)
+        acc += (x - mu) * (x - mu);
+    return std::sqrt(acc / static_cast<double>(xs.size()));
+}
+
+std::vector<double>
+minMaxNormalize(const std::vector<double> &xs, double scale)
+{
+    std::vector<double> out(xs.size(), 0.0);
+    if (xs.empty())
+        return out;
+    const auto [lo_it, hi_it] = std::minmax_element(xs.begin(), xs.end());
+    const double lo = *lo_it, hi = *hi_it;
+    if (hi <= lo)
+        return out;
+    for (size_t i = 0; i < xs.size(); ++i)
+        out[i] = scale * (xs[i] - lo) / (hi - lo);
+    return out;
+}
+
+std::vector<double>
+zScoreNormalize(const std::vector<double> &xs)
+{
+    std::vector<double> out(xs.size(), 0.0);
+    const double mu = mean(xs);
+    const double sd = stddev(xs);
+    if (sd == 0.0)
+        return out;
+    for (size_t i = 0; i < xs.size(); ++i)
+        out[i] = (xs[i] - mu) / sd;
+    return out;
+}
+
+double
+euclideanDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    if (a.size() != b.size())
+        fatal("euclideanDistance: length mismatch %zu vs %zu",
+              a.size(), b.size());
+    double acc = 0.0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc += (a[i] - b[i]) * (a[i] - b[i]);
+    return std::sqrt(acc);
+}
+
+void
+normalizeColumns(std::vector<std::vector<double>> &rows, double scale)
+{
+    if (rows.empty())
+        return;
+    const size_t cols = rows.front().size();
+    for (const auto &row : rows) {
+        if (row.size() != cols)
+            fatal("normalizeColumns: ragged matrix");
+    }
+    for (size_t c = 0; c < cols; ++c) {
+        std::vector<double> col(rows.size());
+        for (size_t r = 0; r < rows.size(); ++r)
+            col[r] = rows[r][c];
+        col = minMaxNormalize(col, scale);
+        for (size_t r = 0; r < rows.size(); ++r)
+            rows[r][c] = col[r];
+    }
+}
+
+} // namespace xps

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Small numeric helpers shared across modules: arithmetic / harmonic /
+ * geometric means, min-max normalization, z-score normalization and
+ * Euclidean distance. The communal-customization figures of merit
+ * (paper §5.2) are built on these.
+ */
+
+#ifndef XPS_UTIL_STATS_UTIL_HH
+#define XPS_UTIL_STATS_UTIL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace xps
+{
+
+/** Arithmetic mean; 0 for an empty vector. */
+double mean(const std::vector<double> &xs);
+
+/**
+ * Harmonic mean; 0 for an empty vector. All elements must be positive
+ * (fatal otherwise) — the paper's harmonic-mean IPT is only defined on
+ * positive throughputs.
+ */
+double harmonicMean(const std::vector<double> &xs);
+
+/** Geometric mean; 0 for an empty vector, elements must be positive. */
+double geometricMean(const std::vector<double> &xs);
+
+/** Population standard deviation; 0 for fewer than two elements. */
+double stddev(const std::vector<double> &xs);
+
+/** Min-max normalize into [0, scale]; constant vectors map to 0. */
+std::vector<double> minMaxNormalize(const std::vector<double> &xs,
+                                    double scale = 1.0);
+
+/** Z-score normalize; constant vectors map to all-zero. */
+std::vector<double> zScoreNormalize(const std::vector<double> &xs);
+
+/** Euclidean distance between two equal-length vectors. */
+double euclideanDistance(const std::vector<double> &a,
+                         const std::vector<double> &b);
+
+/**
+ * Normalize each column of a row-major matrix (rows = observations)
+ * with min-max scaling, in place. Used to put heterogeneous workload
+ * characteristics on a common 0..scale axis before clustering.
+ */
+void normalizeColumns(std::vector<std::vector<double>> &rows,
+                      double scale = 1.0);
+
+} // namespace xps
+
+#endif // XPS_UTIL_STATS_UTIL_HH

@@ -1,0 +1,112 @@
+#include "util/table.hh"
+
+#include <cstdint>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("AsciiTable: need at least one column");
+}
+
+void
+AsciiTable::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        fatal("AsciiTable: row has %zu cells, expected %zu",
+              cells.size(), headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void
+AsciiTable::beginRow()
+{
+    rows_.emplace_back();
+}
+
+void
+AsciiTable::cell(const std::string &text)
+{
+    if (rows_.empty())
+        fatal("AsciiTable::cell before beginRow");
+    if (rows_.back().size() >= headers_.size())
+        fatal("AsciiTable: too many cells in row");
+    rows_.back().push_back(text);
+}
+
+void
+AsciiTable::cell(double value, int precision)
+{
+    cell(formatDouble(value, precision));
+}
+
+void
+AsciiTable::cell(long long value)
+{
+    cell(std::to_string(value));
+}
+
+std::string
+AsciiTable::render() const
+{
+    std::vector<size_t> width(headers_.size(), 0);
+    for (size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    std::ostringstream out;
+    auto emit_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < headers_.size(); ++c) {
+            const std::string &text = c < row.size() ? row[c] : "";
+            out << (c == 0 ? "" : "  ");
+            out << text;
+            out << std::string(width[c] - text.size(), ' ');
+        }
+        out << '\n';
+    };
+    emit_row(headers_);
+    size_t total = 0;
+    for (size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_)
+        emit_row(row);
+    return out.str();
+}
+
+void
+AsciiTable::print() const
+{
+    std::fputs(render().c_str(), stdout);
+}
+
+std::string
+formatDouble(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string
+formatBytes(uint64_t bytes)
+{
+    if (bytes >= (1ULL << 20) && bytes % (1ULL << 20) == 0)
+        return std::to_string(bytes >> 20) + "M";
+    if (bytes >= (1ULL << 10) && bytes % (1ULL << 10) == 0)
+        return std::to_string(bytes >> 10) + "K";
+    return std::to_string(bytes);
+}
+
+} // namespace xps

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * ASCII table rendering for the experiment harnesses. Every bench
+ * binary prints paper-style tables (rows = benchmarks, columns =
+ * parameters or configurations) through this class so the output is
+ * uniform and diffable across runs.
+ */
+
+#ifndef XPS_UTIL_TABLE_HH
+#define XPS_UTIL_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace xps
+{
+
+/**
+ * Column-aligned ASCII table. Cells are strings; numeric convenience
+ * setters format with a fixed precision.
+ */
+class AsciiTable
+{
+  public:
+    /** Construct with column headers. */
+    explicit AsciiTable(std::vector<std::string> headers);
+
+    /** Append a fully formed row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Start a new empty row for cell-by-cell population. */
+    void beginRow();
+
+    /** Append a string cell to the row begun with beginRow(). */
+    void cell(const std::string &text);
+
+    /** Append a numeric cell with the given precision. */
+    void cell(double value, int precision = 2);
+
+    /** Append an integer cell. */
+    void cell(long long value);
+
+    /** Render the table (with a separator under the header). */
+    std::string render() const;
+
+    /** Render and print to stdout. */
+    void print() const;
+
+    /** Number of data rows so far. */
+    size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision into a string. */
+std::string formatDouble(double value, int precision = 2);
+
+/** Format a byte count as, e.g., "8K", "2M", "512". */
+std::string formatBytes(uint64_t bytes);
+
+} // namespace xps
+
+#endif // XPS_UTIL_TABLE_HH

@@ -1,0 +1,59 @@
+#include "workload/branch_predictor.hh"
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+BranchPredictor::BranchPredictor(uint32_t pc_bits, uint32_t local_bits)
+    : pcMask_((1u << pc_bits) - 1),
+      localMask_((1u << local_bits) - 1),
+      bimodal_(1ULL << pc_bits, 1),
+      chooser_(1ULL << pc_bits, 1),
+      localHistory_(1ULL << pc_bits, 0),
+      pattern_(1ULL << local_bits, 1)
+{
+    if (pc_bits < 4 || pc_bits > 20 || local_bits < 4 || local_bits > 16)
+        fatal("BranchPredictor: table sizes out of range");
+}
+
+bool
+BranchPredictor::predict(uint64_t pc, bool taken)
+{
+    const uint32_t pc_idx = static_cast<uint32_t>(pc >> 4) & pcMask_;
+    const uint32_t hist = localHistory_[pc_idx] & localMask_;
+
+    const bool bim_pred = bimodal_[pc_idx] >= 2;
+    const bool loc_pred = pattern_[hist] >= 2;
+    const bool use_local = chooser_[pc_idx] >= 2;
+    const bool pred = use_local ? loc_pred : bim_pred;
+
+    // Train the chooser toward the component that was right (only
+    // when they disagree).
+    if (bim_pred != loc_pred)
+        train(chooser_[pc_idx], loc_pred == taken);
+    train(bimodal_[pc_idx], taken);
+    train(pattern_[hist], taken);
+    localHistory_[pc_idx] =
+        static_cast<uint16_t>(((hist << 1) | (taken ? 1 : 0)) &
+                              localMask_);
+
+    ++lookups_;
+    const bool hit = pred == taken;
+    if (hit)
+        ++correct_;
+    return hit;
+}
+
+void
+BranchPredictor::reset()
+{
+    bimodal_.assign(bimodal_.size(), 1);
+    chooser_.assign(chooser_.size(), 1);
+    localHistory_.assign(localHistory_.size(), 0);
+    pattern_.assign(pattern_.size(), 1);
+    lookups_ = 0;
+    correct_ = 0;
+}
+
+} // namespace xps

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The reference branch predictor. It lives in the workload library
+ * (not sim) because branch *predictability* is one of the measured
+ * workload characteristics (Figure 1 axis B); the timing simulator
+ * uses the identical predictor, which the paper holds fixed across the
+ * explored design space.
+ *
+ * Structure: a SimpleScalar-era tournament —
+ *   bimodal   : per-PC 2-bit counters (captures biased branches),
+ *   local     : per-PC history indexing a pattern table (captures
+ *               loops and short repeating patterns),
+ *   chooser   : per-PC 2-bit counters picking between them.
+ * A global-history gshare is deliberately not used: the synthetic
+ * streams interleave independent branch sites, so global history is
+ * noise for them (it would be unfairly penalized relative to its
+ * behaviour on real code), while bimodal/local behaviour transfers.
+ */
+
+#ifndef XPS_WORKLOAD_BRANCH_PREDICTOR_HH
+#define XPS_WORKLOAD_BRANCH_PREDICTOR_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace xps
+{
+
+/** Tournament predictor (bimodal + local history + chooser). */
+class BranchPredictor
+{
+  public:
+    /**
+     * @param pc_bits log2 entries of the bimodal/chooser/local-history
+     *        tables
+     * @param local_bits bits of per-PC local history (and log2 entries
+     *        of the pattern table)
+     */
+    explicit BranchPredictor(uint32_t pc_bits = 12,
+                             uint32_t local_bits = 10);
+
+    /** Predict a conditional branch and train on its outcome.
+     *  @return true when the prediction matched the outcome. */
+    bool predict(uint64_t pc, bool taken);
+
+    /** Reset all tables to the initial state. */
+    void reset();
+
+    uint64_t lookups() const { return lookups_; }
+    uint64_t correct() const { return correct_; }
+    double
+    accuracy() const
+    {
+        return lookups_ == 0 ? 1.0 :
+            static_cast<double>(correct_) /
+            static_cast<double>(lookups_);
+    }
+
+  private:
+    static void train(uint8_t &ctr, bool taken)
+    {
+        if (taken) {
+            if (ctr < 3)
+                ++ctr;
+        } else {
+            if (ctr > 0)
+                --ctr;
+        }
+    }
+
+    uint32_t pcMask_;
+    uint32_t localMask_;
+    std::vector<uint8_t> bimodal_;      ///< 2-bit counters
+    std::vector<uint8_t> chooser_;      ///< 2-bit: >=2 prefers local
+    std::vector<uint16_t> localHistory_; ///< per-PC history registers
+    std::vector<uint8_t> pattern_;      ///< 2-bit counters
+    uint64_t lookups_ = 0;
+    uint64_t correct_ = 0;
+};
+
+} // namespace xps
+
+#endif // XPS_WORKLOAD_BRANCH_PREDICTOR_HH

@@ -1,0 +1,164 @@
+#include "workload/characteristics.hh"
+
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "util/logging.hh"
+#include "util/stats_util.hh"
+#include "util/table.hh"
+#include "workload/branch_predictor.hh"
+#include "workload/generator.hh"
+
+namespace xps
+{
+
+Characteristics
+measureCharacteristics(const WorkloadProfile &profile, uint64_t instrs)
+{
+    SyntheticWorkload gen(profile, /*stream_id=*/0xc0de);
+    BranchPredictor predictor;
+    std::unordered_set<uint64_t> lines;
+
+    uint64_t loads = 0, stores = 0, branches = 0, muls = 0;
+    uint64_t branch_correct = 0;
+    uint64_t mem_refs = 0, spatial_hits = 0;
+    uint64_t dep_count = 0;
+    double dep_dist_sum = 0.0;
+    uint64_t last_addr = 0;
+    bool have_last_addr = false;
+
+    for (uint64_t i = 0; i < instrs; ++i) {
+        const MicroOp &op = gen.next();
+        for (int s = 0; s < op.numSrcs; ++s) {
+            if (op.srcDist[s] > 0) {
+                dep_dist_sum += op.srcDist[s];
+                ++dep_count;
+            }
+        }
+        switch (op.cls) {
+          case OpClass::Load:
+            ++loads;
+            break;
+          case OpClass::Store:
+            ++stores;
+            break;
+          case OpClass::CondBranch:
+            ++branches;
+            if (predictor.predict(op.pc, op.taken))
+                ++branch_correct;
+            break;
+          case OpClass::IntMul:
+            ++muls;
+            break;
+          default:
+            break;
+        }
+        if (op.isMem()) {
+            ++mem_refs;
+            lines.insert(op.addr / 64);
+            if (have_last_addr) {
+                const uint64_t delta = op.addr > last_addr ?
+                    op.addr - last_addr : last_addr - op.addr;
+                if (delta <= 64)
+                    ++spatial_hits;
+            }
+            last_addr = op.addr;
+            have_last_addr = true;
+        }
+    }
+
+    Characteristics c;
+    c.name = profile.name;
+    c.workingSetLog2 = lines.empty() ? 0.0 :
+        std::log2(static_cast<double>(lines.size()));
+    c.branchPredictability = branches == 0 ? 1.0 :
+        static_cast<double>(branch_correct) /
+        static_cast<double>(branches);
+    c.depChainDensity = dep_count == 0 ? 0.0 :
+        static_cast<double>(dep_count) / dep_dist_sum;
+    const double n = static_cast<double>(instrs);
+    c.loadFrequency = static_cast<double>(loads) / n;
+    c.storeFrequency = static_cast<double>(stores) / n;
+    c.condBranchFrequency = static_cast<double>(branches) / n;
+    c.spatialLocality = mem_refs == 0 ? 0.0 :
+        static_cast<double>(spatial_hits) /
+        static_cast<double>(mem_refs);
+    c.mulFrequency = static_cast<double>(muls) / n;
+    return c;
+}
+
+std::vector<Characteristics>
+measureSuite(const std::vector<WorkloadProfile> &suite, uint64_t instrs)
+{
+    std::vector<Characteristics> out;
+    out.reserve(suite.size());
+    for (const auto &p : suite)
+        out.push_back(measureCharacteristics(p, instrs));
+    return out;
+}
+
+std::vector<double>
+Characteristics::kiviatAxes() const
+{
+    return {workingSetLog2, branchPredictability, depChainDensity,
+            loadFrequency, condBranchFrequency};
+}
+
+std::vector<std::string>
+Characteristics::kiviatAxisNames()
+{
+    return {"A:working-set", "B:br-predict", "C:dep-density",
+            "D:load-freq", "E:branch-freq"};
+}
+
+std::vector<double>
+Characteristics::featureVector() const
+{
+    return {workingSetLog2, branchPredictability, depChainDensity,
+            loadFrequency, storeFrequency, condBranchFrequency,
+            spatialLocality, mulFrequency};
+}
+
+std::vector<std::string>
+Characteristics::featureNames()
+{
+    return {"working-set", "br-predict", "dep-density", "load-freq",
+            "store-freq", "branch-freq", "spatial-loc", "mul-freq"};
+}
+
+std::vector<std::vector<double>>
+normalizedKiviat(const std::vector<Characteristics> &suite, double scale)
+{
+    std::vector<std::vector<double>> rows;
+    rows.reserve(suite.size());
+    for (const auto &c : suite)
+        rows.push_back(c.kiviatAxes());
+    normalizeColumns(rows, scale);
+    return rows;
+}
+
+std::string
+renderKiviat(const std::string &name,
+             const std::vector<std::string> &axis_names,
+             const std::vector<double> &values, double scale)
+{
+    if (axis_names.size() != values.size())
+        fatal("renderKiviat: %zu axis names vs %zu values",
+              axis_names.size(), values.size());
+    std::ostringstream out;
+    out << name << ":\n";
+    for (size_t i = 0; i < values.size(); ++i) {
+        const int filled = static_cast<int>(
+            std::lround(values[i] / scale * 20.0));
+        out << "  " << axis_names[i];
+        out << std::string(axis_names[i].size() < 14 ?
+                           14 - axis_names[i].size() : 1, ' ');
+        out << '|' << std::string(filled, '#')
+            << std::string(20 - filled, ' ') << "| "
+            << formatDouble(values[i], 1) << '\n';
+    }
+    return out.str();
+}
+
+} // namespace xps

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The dynamic micro-operation record produced by the synthetic
+ * workload generators and consumed by the timing simulator. This is
+ * the trace format of the reproduction: where the paper's xp-scalar
+ * executes PISA binaries under SimpleScalar, we stream MicroOps whose
+ * statistics are calibrated per benchmark (see profile.hh).
+ */
+
+#ifndef XPS_WORKLOAD_MICRO_OP_HH
+#define XPS_WORKLOAD_MICRO_OP_HH
+
+#include <cstdint>
+
+namespace xps
+{
+
+/** Operation classes modelled by the core. */
+enum class OpClass : uint8_t
+{
+    IntAlu,     ///< single-cycle integer op
+    IntMul,     ///< multi-cycle integer multiply/divide
+    Load,       ///< memory read
+    Store,      ///< memory write
+    CondBranch, ///< conditional branch (predicted, resolves at exec)
+    Jump,       ///< unconditional control transfer (breaks fetch)
+};
+
+/** Number of OpClass values (for mix accounting). */
+constexpr int kNumOpClasses = 6;
+
+/** Human-readable op-class name. */
+const char *opClassName(OpClass cls);
+
+/**
+ * One dynamic instruction. Register dependences are encoded as
+ * *dynamic distances*: srcDist[i] = d means the i-th source operand is
+ * produced by the instruction d positions earlier in the dynamic
+ * stream (d >= 1); 0 means the operand is already available.
+ */
+struct MicroOp
+{
+    OpClass cls = OpClass::IntAlu;
+    uint8_t numSrcs = 0;
+    uint32_t srcDist[2] = {0, 0};
+    /** Effective address for Load/Store; 0 otherwise. */
+    uint64_t addr = 0;
+    /** Outcome for CondBranch (Jump is always taken). */
+    bool taken = false;
+    /** Static site of a branch (synthetic PC for predictor indexing). */
+    uint64_t pc = 0;
+
+    bool isLoad() const { return cls == OpClass::Load; }
+    bool isStore() const { return cls == OpClass::Store; }
+    bool isMem() const { return isLoad() || isStore(); }
+    bool
+    isControl() const
+    {
+        return cls == OpClass::CondBranch || cls == OpClass::Jump;
+    }
+};
+
+} // namespace xps
+
+#endif // XPS_WORKLOAD_MICRO_OP_HH

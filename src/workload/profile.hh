@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Statistical workload profiles: the knobs of the synthetic trace
+ * generator, plus the registry of eleven profiles calibrated to the
+ * published qualitative behaviour of the SPEC2000 C integer benchmarks
+ * the paper evaluates (bzip, crafty, gap, gcc, gzip, mcf, parser,
+ * perl, twolf, vortex, vpr).
+ *
+ * Substitution note (DESIGN.md §2): we do not have SPEC binaries, so
+ * each benchmark becomes a parameter vector whose induced timing
+ * behaviour — instruction mix, ILP (dependence-distance distribution),
+ * branch-predictor accuracy, and cache-hierarchy miss behaviour versus
+ * capacity — matches what the literature reports for that benchmark.
+ * The downstream experiments only observe workloads through these
+ * behaviours.
+ */
+
+#ifndef XPS_WORKLOAD_PROFILE_HH
+#define XPS_WORKLOAD_PROFILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xps
+{
+
+/**
+ * All parameters of the synthetic workload model. Fractions are of
+ * the dynamic instruction stream and must satisfy
+ * fracLoad + fracStore + fracCondBranch + fracJump + fracMul <= 1
+ * (the remainder is single-cycle ALU work).
+ */
+struct WorkloadProfile
+{
+    std::string name;
+    uint64_t seed = 1;
+
+    // --- instruction mix -------------------------------------------------
+    double fracLoad = 0.25;
+    double fracStore = 0.10;
+    double fracCondBranch = 0.12;
+    double fracJump = 0.02;
+    double fracMul = 0.02;
+
+    // --- dependence structure (ILP) --------------------------------------
+    /** Mean dynamic distance to a producer; small = dense chains. */
+    double meanDepDistance = 4.0;
+    /** Probability an op has a second source operand. */
+    double fracTwoSrc = 0.35;
+    /** Probability a load's address depends on the latest prior load
+     *  (pointer chasing, the mcf pattern). */
+    double loadChaseProb = 0.05;
+
+    // --- control behaviour ------------------------------------------------
+    /** Number of static conditional-branch sites. */
+    uint32_t numBranchSites = 256;
+    /** Site-population mix; must sum to <= 1 (rest behaves random). */
+    double fracBiasedSites = 0.55;  ///< strongly biased sites
+    double biasedTakenProb = 0.93;  ///< bias of the biased sites
+    double fracLoopSites = 0.25;    ///< loop back-edges
+    double meanLoopTrip = 12.0;     ///< mean loop trip count
+    double fracPatternSites = 0.10; ///< short repeating patterns
+    /** Zipf skew of site selection (hot loops dominate). */
+    double siteZipfS = 0.9;
+
+    // --- memory behaviour --------------------------------------------------
+    /** Heap working-set size in bytes (the dominant footprint). */
+    uint64_t workingSetBytes = 1ULL << 21;
+    /** Zipf skew of heap line reuse; higher = tighter locality. */
+    double heapZipfS = 0.6;
+    /** Fraction of references to a small hot (stack-like) region. */
+    double fracHot = 0.35;
+    uint64_t hotRegionBytes = 1ULL << 13;
+    /** Fraction of references that are sequential stream accesses. */
+    double fracStream = 0.25;
+    uint32_t numStreams = 4;
+    uint32_t streamStrideBytes = 8;
+    /** Each stream wraps within this window (streams with windows
+     *  that fit a cache level re-hit there after the first pass). */
+    uint64_t streamWindowBytes = 256ULL << 10;
+
+    /** Verify internal consistency; fatal on an invalid profile. */
+    void validate() const;
+};
+
+/** The eleven SPEC2000 C-integer calibrated profiles, in the paper's
+ *  alphabetical order (bzip ... vpr). */
+const std::vector<WorkloadProfile> &spec2000int();
+
+/** Look up a profile by name; fatal if unknown. */
+const WorkloadProfile &profileByName(const std::string &name);
+
+/** Names of the spec2000int profiles, in order. */
+std::vector<std::string> spec2000intNames();
+
+} // namespace xps
+
+#endif // XPS_WORKLOAD_PROFILE_HH

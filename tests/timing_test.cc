@@ -1,0 +1,292 @@
+/**
+ * @file
+ * Unit and property tests for src/timing: cacti-lite scaling laws,
+ * the Table-1 unit mapping, the pipeline fitting rule, and the
+ * discrete fitting helpers. The paper's coupling argument depends on
+ * these monotonicities, so they are asserted as properties.
+ */
+
+#include <gtest/gtest.h>
+
+#include "timing/cacti_lite.hh"
+#include "timing/fitting.hh"
+#include "timing/unit_timing.hh"
+
+using namespace xps;
+
+namespace
+{
+
+const UnitTiming &
+timing()
+{
+    static const UnitTiming t;
+    return t;
+}
+
+} // namespace
+
+// --- CactiLite scaling properties ---------------------------------------
+
+TEST(CactiLite, AccessTimeGrowsWithSets)
+{
+    CactiLite model;
+    double prev = 0.0;
+    for (uint64_t sets : {64, 256, 1024, 4096, 16384}) {
+        ArrayGeometry g{sets, 2, 64, 2, 2};
+        const double t = model.accessTime(g);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(CactiLite, AccessTimeGrowsWithAssociativity)
+{
+    CactiLite model;
+    double prev = 0.0;
+    for (uint32_t assoc : {1, 2, 4, 8, 16}) {
+        ArrayGeometry g{1024, assoc, 64, 2, 2};
+        const double t = model.accessTime(g);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(CactiLite, AccessTimeGrowsWithPorts)
+{
+    CactiLite model;
+    double prev = 0.0;
+    for (uint32_t ports : {1, 2, 4, 8}) {
+        ArrayGeometry g{512, 2, 64, ports, 0};
+        g.readPorts = ports;
+        g.writePorts = 0;
+        const double t = model.accessTime(g);
+        EXPECT_GT(t, prev);
+        prev = t;
+    }
+}
+
+TEST(CactiLite, DataPathExcludesOutputDriver)
+{
+    CactiLite model;
+    ArrayGeometry g{512, 2, 64, 2, 2};
+    EXPECT_LT(model.dataPathTime(g), model.accessTime(g));
+    EXPECT_NEAR(model.accessTime(g) - model.dataPathTime(g),
+                model.tech().outputDriver, 1e-12);
+}
+
+TEST(CactiLite, CamGrowsLinearlyInEntries)
+{
+    CactiLite model;
+    const double d64 = model.camMatchTime(64, 4);
+    const double d128 = model.camMatchTime(128, 4);
+    const double d256 = model.camMatchTime(256, 4);
+    EXPECT_GT(d128, d64);
+    // Linear growth: doubling the increment doubles the delta.
+    EXPECT_NEAR(d256 - d128, 2.0 * (d128 - d64), 1e-9);
+}
+
+TEST(CactiLite, SelectGrowsWithRequestersAndGrants)
+{
+    CactiLite model;
+    EXPECT_GT(model.selectTime(128, 4), model.selectTime(32, 4));
+    EXPECT_GT(model.selectTime(64, 8), model.selectTime(64, 2));
+}
+
+TEST(CactiLite, CalibrationMagnitudes)
+{
+    // The documented 90nm-class calibration targets, with tolerance.
+    CactiLite model;
+    const double l1 = model.accessTime({512, 2, 64, 2, 2}); // 64KB
+    EXPECT_GT(l1, 0.6);
+    EXPECT_LT(l1, 1.8);
+    const double l2 = model.accessTime({2048, 16, 64, 2, 2}); // 2MB
+    EXPECT_GT(l2, 3.0);
+    EXPECT_LT(l2, 7.0);
+    const double ws = timing().iqTotal(64, 4);
+    EXPECT_GT(ws, 0.25);
+    EXPECT_LT(ws, 0.60);
+}
+
+TEST(CactiLite, FullyAssociativeHasNoDecoder)
+{
+    CactiLite model;
+    ArrayGeometry fa{1, 64, 8, 2, 2};
+    ArrayGeometry dm{64, 1, 8, 2, 2};
+    // Same capacity; the FA array pays tag cost, the DM pays decode.
+    EXPECT_GT(model.accessTime(fa), 0.0);
+    EXPECT_GT(model.accessTime(dm), 0.0);
+}
+
+// --- UnitTiming (Table 1 mapping) ----------------------------------------
+
+TEST(UnitTiming, IqTotalIsWakeupPlusSelect)
+{
+    EXPECT_NEAR(timing().iqTotal(64, 4),
+                timing().iqWakeup(64, 4) + timing().iqSelect(64, 4),
+                1e-12);
+}
+
+TEST(UnitTiming, IqWakeupUsesDoubledEntries)
+{
+    // Table 1: the wakeup CAM has 2x IQ-size tags.
+    const double direct = timing().cacti().camMatchTime(128, 4);
+    EXPECT_NEAR(timing().iqWakeup(64, 4), direct, 1e-12);
+}
+
+TEST(UnitTiming, RegfileGrowsWithSizeAndWidth)
+{
+    EXPECT_GT(timing().regfileAccess(512, 4),
+              timing().regfileAccess(128, 4));
+    EXPECT_GT(timing().regfileAccess(256, 8),
+              timing().regfileAccess(256, 2));
+}
+
+TEST(UnitTiming, LsqGrowsWithSize)
+{
+    EXPECT_GT(timing().lsqSearch(256), timing().lsqSearch(64));
+}
+
+TEST(UnitTiming, CacheAccessMatchesCactiGeometry)
+{
+    const double via_unit = timing().cacheAccess(512, 2, 64);
+    const double direct =
+        timing().cacti().accessTime({512, 2, 64, 2, 2});
+    EXPECT_NEAR(via_unit, direct, 1e-12);
+}
+
+// --- fitting rule ---------------------------------------------------------
+
+TEST(Fitting, BudgetIsDepthTimesUsableClock)
+{
+    const double latch = timing().tech().latchLatencyNs;
+    EXPECT_NEAR(timing().budget(1, 0.33), 0.33 - latch, 1e-12);
+    EXPECT_NEAR(timing().budget(3, 0.33), 3 * (0.33 - latch), 1e-12);
+}
+
+TEST(Fitting, FitsAtBoundary)
+{
+    const double budget = timing().budget(2, 0.4);
+    EXPECT_TRUE(timing().fits(budget, 2, 0.4));
+    EXPECT_FALSE(timing().fits(budget + 0.001, 2, 0.4));
+}
+
+TEST(Fitting, StagesNeededInvertsFits)
+{
+    for (double delay : {0.1, 0.45, 0.9, 2.7}) {
+        for (double clock : {0.2, 0.33, 0.5}) {
+            const int depth = timing().stagesNeeded(delay, clock);
+            EXPECT_TRUE(timing().fits(delay, depth, clock));
+            if (depth > 1) {
+                EXPECT_FALSE(timing().fits(delay, depth - 1, clock));
+            }
+        }
+    }
+}
+
+TEST(Fitting, MaxFittingPicksLargest)
+{
+    // With a generous budget the largest candidate must be chosen.
+    const uint32_t iq = maxFitting(
+        timing(), candidates::iqSizes(),
+        [](uint32_t n) { return timing().iqTotal(n, 4); }, 4, 0.8);
+    EXPECT_EQ(iq, candidates::iqSizes().back());
+}
+
+TEST(Fitting, MaxFittingZeroWhenNothingFits)
+{
+    const uint32_t iq = maxFitting(
+        timing(), candidates::iqSizes(),
+        [](uint32_t n) { return timing().iqTotal(n, 8); }, 1, 0.05);
+    EXPECT_EQ(iq, 0u);
+}
+
+TEST(Fitting, DeeperPipelineFitsLargerStructures)
+{
+    const auto delay = [](uint32_t n) {
+        return timing().iqTotal(n, 4);
+    };
+    const uint32_t shallow =
+        maxFitting(timing(), candidates::iqSizes(), delay, 1, 0.25);
+    const uint32_t deep =
+        maxFitting(timing(), candidates::iqSizes(), delay, 3, 0.25);
+    EXPECT_GE(deep, shallow);
+    EXPECT_GT(deep, 0u);
+}
+
+TEST(Fitting, CacheGeometriesAllFit)
+{
+    const auto geoms =
+        cacheGeometriesFitting(timing(), 3, 0.33, 512ULL << 10);
+    ASSERT_FALSE(geoms.empty());
+    for (const auto &g : geoms) {
+        EXPECT_TRUE(timing().fits(
+            timing().cacheAccess(g.sets, g.assoc, g.lineBytes), 3,
+            0.33));
+        EXPECT_LE(g.capacityBytes(), 512ULL << 10);
+    }
+}
+
+TEST(Fitting, MaxCapacityCacheIsMaximal)
+{
+    CacheGeom best{};
+    ASSERT_TRUE(maxCapacityCacheFitting(timing(), 4, 0.33,
+                                        512ULL << 10, best));
+    for (const auto &g :
+         cacheGeometriesFitting(timing(), 4, 0.33, 512ULL << 10)) {
+        EXPECT_LE(g.capacityBytes(), best.capacityBytes());
+    }
+}
+
+TEST(Fitting, NoCacheFitsImpossibleBudget)
+{
+    CacheGeom out{};
+    EXPECT_FALSE(maxCapacityCacheFitting(timing(), 1, 0.05, 1 << 20,
+                                         out));
+}
+
+// Property sweep: a faster clock never allows a *larger* maximal
+// structure at the same depth (the paper's central coupling).
+class ClockMonotonicity : public testing::TestWithParam<int>
+{
+};
+
+TEST_P(ClockMonotonicity, FasterClockNeverFitsMore)
+{
+    const int depth = GetParam();
+    uint64_t prev_cap = 0;
+    uint32_t prev_iq = 0;
+    for (double clock : {0.15, 0.2, 0.25, 0.33, 0.45, 0.6}) {
+        CacheGeom geom{};
+        uint64_t cap = 0;
+        if (maxCapacityCacheFitting(timing(), depth, clock,
+                                    8ULL << 20, geom)) {
+            cap = geom.capacityBytes();
+        }
+        const uint32_t iq = maxFitting(
+            timing(), candidates::iqSizes(),
+            [](uint32_t n) { return timing().iqTotal(n, 4); }, depth,
+            clock);
+        EXPECT_GE(cap, prev_cap);
+        EXPECT_GE(iq, prev_iq);
+        prev_cap = cap;
+        prev_iq = iq;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, ClockMonotonicity,
+                         testing::Values(1, 2, 3, 4, 6));
+
+TEST(Fitting, PaperTable3InitialConfigFits)
+{
+    // The Table-3 starting point must be legal in the model: IQ 64
+    // and ROB 128 in one scheduler stage at 0.33ns, L1 within 4
+    // cycles, L2 within 12.
+    EXPECT_TRUE(timing().fits(timing().iqTotal(64, 3), 1, 0.33));
+    EXPECT_TRUE(timing().fits(timing().regfileAccess(128, 3), 1, 0.33));
+    EXPECT_TRUE(timing().fits(timing().cacheAccess(256, 2, 32), 4,
+                              0.33));
+    EXPECT_TRUE(timing().fits(timing().cacheAccess(1024, 4, 128), 12,
+                              0.33));
+    EXPECT_TRUE(timing().fits(timing().lsqSearch(64), 2, 0.33));
+}
