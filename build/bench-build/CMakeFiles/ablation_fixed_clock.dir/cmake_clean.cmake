@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_fixed_clock"
+  "../bench/ablation_fixed_clock.pdb"
+  "CMakeFiles/ablation_fixed_clock.dir/ablation_fixed_clock.cc.o"
+  "CMakeFiles/ablation_fixed_clock.dir/ablation_fixed_clock.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fixed_clock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_power_aware"
+  "../bench/ablation_power_aware.pdb"
+  "CMakeFiles/ablation_power_aware.dir/ablation_power_aware.cc.o"
+  "CMakeFiles/ablation_power_aware.dir/ablation_power_aware.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_power_aware.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_subset_vs_config"
+  "../bench/ablation_subset_vs_config.pdb"
+  "CMakeFiles/ablation_subset_vs_config.dir/ablation_subset_vs_config.cc.o"
+  "CMakeFiles/ablation_subset_vs_config.dir/ablation_subset_vs_config.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_subset_vs_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_subset_vs_config.
+# This may be replaced when dependencies are built.

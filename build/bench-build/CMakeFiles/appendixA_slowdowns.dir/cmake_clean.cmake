@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/appendixA_slowdowns"
+  "../bench/appendixA_slowdowns.pdb"
+  "CMakeFiles/appendixA_slowdowns.dir/appendixA_slowdowns.cc.o"
+  "CMakeFiles/appendixA_slowdowns.dir/appendixA_slowdowns.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendixA_slowdowns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig1_kiviat"
+  "../bench/fig1_kiviat.pdb"
+  "CMakeFiles/fig1_kiviat.dir/fig1_kiviat.cc.o"
+  "CMakeFiles/fig1_kiviat.dir/fig1_kiviat.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_kiviat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

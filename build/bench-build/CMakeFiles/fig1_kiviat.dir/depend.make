@@ -1,0 +1,2 @@
+# Empty dependencies file for fig1_kiviat.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig2_scenarios"
+  "../bench/fig2_scenarios.pdb"
+  "CMakeFiles/fig2_scenarios.dir/fig2_scenarios.cc.o"
+  "CMakeFiles/fig2_scenarios.dir/fig2_scenarios.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_best_core_ipt"
+  "../bench/fig4_best_core_ipt.pdb"
+  "CMakeFiles/fig4_best_core_ipt.dir/fig4_best_core_ipt.cc.o"
+  "CMakeFiles/fig4_best_core_ipt.dir/fig4_best_core_ipt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_best_core_ipt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig4_best_core_ipt.
+# This may be replaced when dependencies are built.

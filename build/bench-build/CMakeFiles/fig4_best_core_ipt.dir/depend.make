@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_best_core_ipt.
+# This may be replaced when dependencies are built.

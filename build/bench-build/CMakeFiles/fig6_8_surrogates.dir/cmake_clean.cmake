@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_8_surrogates"
+  "../bench/fig6_8_surrogates.pdb"
+  "CMakeFiles/fig6_8_surrogates.dir/fig6_8_surrogates.cc.o"
+  "CMakeFiles/fig6_8_surrogates.dir/fig6_8_surrogates.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_8_surrogates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

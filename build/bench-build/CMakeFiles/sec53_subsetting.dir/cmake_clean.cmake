@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec53_subsetting"
+  "../bench/sec53_subsetting.pdb"
+  "CMakeFiles/sec53_subsetting.dir/sec53_subsetting.cc.o"
+  "CMakeFiles/sec53_subsetting.dir/sec53_subsetting.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_subsetting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

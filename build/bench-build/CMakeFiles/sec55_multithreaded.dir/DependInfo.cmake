@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/sec55_multithreaded.cc" "bench-build/CMakeFiles/sec55_multithreaded.dir/sec55_multithreaded.cc.o" "gcc" "bench-build/CMakeFiles/sec55_multithreaded.dir/sec55_multithreaded.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/comm/CMakeFiles/xps_comm.dir/DependInfo.cmake"
+  "/root/repo/build/src/explore/CMakeFiles/xps_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/xps_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec55_multithreaded"
+  "../bench/sec55_multithreaded.pdb"
+  "CMakeFiles/sec55_multithreaded.dir/sec55_multithreaded.cc.o"
+  "CMakeFiles/sec55_multithreaded.dir/sec55_multithreaded.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec55_multithreaded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table5_crossconfig"
+  "../bench/table5_crossconfig.pdb"
+  "CMakeFiles/table5_crossconfig.dir/table5_crossconfig.cc.o"
+  "CMakeFiles/table5_crossconfig.dir/table5_crossconfig.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_crossconfig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table6_combinations"
+  "../bench/table6_combinations.pdb"
+  "CMakeFiles/table6_combinations.dir/table6_combinations.cc.o"
+  "CMakeFiles/table6_combinations.dir/table6_combinations.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_combinations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/hetero_cmp_design"
+  "../examples/hetero_cmp_design.pdb"
+  "CMakeFiles/hetero_cmp_design.dir/hetero_cmp_design.cpp.o"
+  "CMakeFiles/hetero_cmp_design.dir/hetero_cmp_design.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_cmp_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

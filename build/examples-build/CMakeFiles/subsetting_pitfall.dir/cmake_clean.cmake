@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/subsetting_pitfall"
+  "../examples/subsetting_pitfall.pdb"
+  "CMakeFiles/subsetting_pitfall.dir/subsetting_pitfall.cpp.o"
+  "CMakeFiles/subsetting_pitfall.dir/subsetting_pitfall.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/subsetting_pitfall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

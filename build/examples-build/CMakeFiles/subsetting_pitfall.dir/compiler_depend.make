@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for subsetting_pitfall.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/comm/combination.cc" "src/comm/CMakeFiles/xps_comm.dir/combination.cc.o" "gcc" "src/comm/CMakeFiles/xps_comm.dir/combination.cc.o.d"
+  "/root/repo/src/comm/experiments.cc" "src/comm/CMakeFiles/xps_comm.dir/experiments.cc.o" "gcc" "src/comm/CMakeFiles/xps_comm.dir/experiments.cc.o.d"
+  "/root/repo/src/comm/job_sim.cc" "src/comm/CMakeFiles/xps_comm.dir/job_sim.cc.o" "gcc" "src/comm/CMakeFiles/xps_comm.dir/job_sim.cc.o.d"
+  "/root/repo/src/comm/kmeans.cc" "src/comm/CMakeFiles/xps_comm.dir/kmeans.cc.o" "gcc" "src/comm/CMakeFiles/xps_comm.dir/kmeans.cc.o.d"
+  "/root/repo/src/comm/merit.cc" "src/comm/CMakeFiles/xps_comm.dir/merit.cc.o" "gcc" "src/comm/CMakeFiles/xps_comm.dir/merit.cc.o.d"
+  "/root/repo/src/comm/perf_matrix.cc" "src/comm/CMakeFiles/xps_comm.dir/perf_matrix.cc.o" "gcc" "src/comm/CMakeFiles/xps_comm.dir/perf_matrix.cc.o.d"
+  "/root/repo/src/comm/subsetting.cc" "src/comm/CMakeFiles/xps_comm.dir/subsetting.cc.o" "gcc" "src/comm/CMakeFiles/xps_comm.dir/subsetting.cc.o.d"
+  "/root/repo/src/comm/surrogate.cc" "src/comm/CMakeFiles/xps_comm.dir/surrogate.cc.o" "gcc" "src/comm/CMakeFiles/xps_comm.dir/surrogate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/explore/CMakeFiles/xps_explore.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xps_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/xps_timing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xps_comm.dir/combination.cc.o"
+  "CMakeFiles/xps_comm.dir/combination.cc.o.d"
+  "CMakeFiles/xps_comm.dir/experiments.cc.o"
+  "CMakeFiles/xps_comm.dir/experiments.cc.o.d"
+  "CMakeFiles/xps_comm.dir/job_sim.cc.o"
+  "CMakeFiles/xps_comm.dir/job_sim.cc.o.d"
+  "CMakeFiles/xps_comm.dir/kmeans.cc.o"
+  "CMakeFiles/xps_comm.dir/kmeans.cc.o.d"
+  "CMakeFiles/xps_comm.dir/merit.cc.o"
+  "CMakeFiles/xps_comm.dir/merit.cc.o.d"
+  "CMakeFiles/xps_comm.dir/perf_matrix.cc.o"
+  "CMakeFiles/xps_comm.dir/perf_matrix.cc.o.d"
+  "CMakeFiles/xps_comm.dir/subsetting.cc.o"
+  "CMakeFiles/xps_comm.dir/subsetting.cc.o.d"
+  "CMakeFiles/xps_comm.dir/surrogate.cc.o"
+  "CMakeFiles/xps_comm.dir/surrogate.cc.o.d"
+  "libxps_comm.a"
+  "libxps_comm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xps_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxps_comm.a"
+)

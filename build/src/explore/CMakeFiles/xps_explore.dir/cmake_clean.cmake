@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xps_explore.dir/annealer.cc.o"
+  "CMakeFiles/xps_explore.dir/annealer.cc.o.d"
+  "CMakeFiles/xps_explore.dir/explorer.cc.o"
+  "CMakeFiles/xps_explore.dir/explorer.cc.o.d"
+  "CMakeFiles/xps_explore.dir/search_space.cc.o"
+  "CMakeFiles/xps_explore.dir/search_space.cc.o.d"
+  "libxps_explore.a"
+  "libxps_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xps_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

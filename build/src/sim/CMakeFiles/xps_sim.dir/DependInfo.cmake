@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/area_power.cc" "src/sim/CMakeFiles/xps_sim.dir/area_power.cc.o" "gcc" "src/sim/CMakeFiles/xps_sim.dir/area_power.cc.o.d"
+  "/root/repo/src/sim/cache.cc" "src/sim/CMakeFiles/xps_sim.dir/cache.cc.o" "gcc" "src/sim/CMakeFiles/xps_sim.dir/cache.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/sim/CMakeFiles/xps_sim.dir/config.cc.o" "gcc" "src/sim/CMakeFiles/xps_sim.dir/config.cc.o.d"
+  "/root/repo/src/sim/ooo_core.cc" "src/sim/CMakeFiles/xps_sim.dir/ooo_core.cc.o" "gcc" "src/sim/CMakeFiles/xps_sim.dir/ooo_core.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/xps_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/xps_sim.dir/simulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timing/CMakeFiles/xps_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/xps_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/xps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

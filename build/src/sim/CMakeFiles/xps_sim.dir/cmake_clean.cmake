@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xps_sim.dir/area_power.cc.o"
+  "CMakeFiles/xps_sim.dir/area_power.cc.o.d"
+  "CMakeFiles/xps_sim.dir/cache.cc.o"
+  "CMakeFiles/xps_sim.dir/cache.cc.o.d"
+  "CMakeFiles/xps_sim.dir/config.cc.o"
+  "CMakeFiles/xps_sim.dir/config.cc.o.d"
+  "CMakeFiles/xps_sim.dir/ooo_core.cc.o"
+  "CMakeFiles/xps_sim.dir/ooo_core.cc.o.d"
+  "CMakeFiles/xps_sim.dir/simulator.cc.o"
+  "CMakeFiles/xps_sim.dir/simulator.cc.o.d"
+  "libxps_sim.a"
+  "libxps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

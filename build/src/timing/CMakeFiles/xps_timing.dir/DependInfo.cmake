@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timing/cacti_lite.cc" "src/timing/CMakeFiles/xps_timing.dir/cacti_lite.cc.o" "gcc" "src/timing/CMakeFiles/xps_timing.dir/cacti_lite.cc.o.d"
+  "/root/repo/src/timing/fitting.cc" "src/timing/CMakeFiles/xps_timing.dir/fitting.cc.o" "gcc" "src/timing/CMakeFiles/xps_timing.dir/fitting.cc.o.d"
+  "/root/repo/src/timing/unit_timing.cc" "src/timing/CMakeFiles/xps_timing.dir/unit_timing.cc.o" "gcc" "src/timing/CMakeFiles/xps_timing.dir/unit_timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/xps_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xps_timing.dir/cacti_lite.cc.o"
+  "CMakeFiles/xps_timing.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/xps_timing.dir/fitting.cc.o"
+  "CMakeFiles/xps_timing.dir/fitting.cc.o.d"
+  "CMakeFiles/xps_timing.dir/unit_timing.cc.o"
+  "CMakeFiles/xps_timing.dir/unit_timing.cc.o.d"
+  "libxps_timing.a"
+  "libxps_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xps_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xps_util.dir/csv.cc.o"
+  "CMakeFiles/xps_util.dir/csv.cc.o.d"
+  "CMakeFiles/xps_util.dir/env.cc.o"
+  "CMakeFiles/xps_util.dir/env.cc.o.d"
+  "CMakeFiles/xps_util.dir/logging.cc.o"
+  "CMakeFiles/xps_util.dir/logging.cc.o.d"
+  "CMakeFiles/xps_util.dir/stats_util.cc.o"
+  "CMakeFiles/xps_util.dir/stats_util.cc.o.d"
+  "CMakeFiles/xps_util.dir/table.cc.o"
+  "CMakeFiles/xps_util.dir/table.cc.o.d"
+  "libxps_util.a"
+  "libxps_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xps_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xps_workload.dir/branch_predictor.cc.o"
+  "CMakeFiles/xps_workload.dir/branch_predictor.cc.o.d"
+  "CMakeFiles/xps_workload.dir/characteristics.cc.o"
+  "CMakeFiles/xps_workload.dir/characteristics.cc.o.d"
+  "CMakeFiles/xps_workload.dir/generator.cc.o"
+  "CMakeFiles/xps_workload.dir/generator.cc.o.d"
+  "CMakeFiles/xps_workload.dir/profile.cc.o"
+  "CMakeFiles/xps_workload.dir/profile.cc.o.d"
+  "libxps_workload.a"
+  "libxps_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xps_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
