@@ -16,6 +16,7 @@
 #include "workload/branch_predictor.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
+#include "workload/trace.hh"
 
 using namespace xps;
 
@@ -35,6 +36,26 @@ BM_GeneratorThroughput(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
 }
 BENCHMARK(BM_GeneratorThroughput);
+
+void
+BM_TraceReplay(benchmark::State &state)
+{
+    // Counterpart of BM_GeneratorThroughput: the same stream consumed
+    // from a pre-generated shared buffer. The ratio of the two is the
+    // per-op saving every traced evaluation gets.
+    const auto trace = sharedTrace(profileByName("gcc"), 0, 1 << 20);
+    TraceCursor cursor(trace);
+    uint64_t sum = 0;
+    for (auto _ : state) {
+        if (cursor.generated() >= trace->size())
+            cursor = TraceCursor(trace);
+        const MicroOp &op = cursor.next();
+        sum += op.addr + static_cast<uint64_t>(op.cls);
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_TraceReplay);
 
 void
 BM_BranchPredictor(benchmark::State &state)
@@ -103,6 +124,65 @@ BM_SimulateWorkload(benchmark::State &state)
     state.SetLabel(profile.name);
 }
 BENCHMARK(BM_SimulateWorkload)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_SimulateWorkloadTraced(benchmark::State &state)
+{
+    // BM_SimulateWorkload with the stream replayed from the shared
+    // trace cache instead of regenerated per run — the annealer's
+    // steady-state evaluation cost.
+    const char *names[] = {"gzip", "gcc", "mcf"};
+    const WorkloadProfile &profile =
+        profileByName(names[state.range(0)]);
+    const CoreConfig cfg = CoreConfig::initial();
+    SimOptions opts;
+    opts.measureInstrs = 20000;
+    opts.warmupInstrs = 20000;
+    opts.trace = sharedTrace(profile, opts.streamId, opts.traceOps());
+    for (auto _ : state) {
+        const SimStats stats = simulate(profile, cfg, opts);
+        benchmark::DoNotOptimize(stats.cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 20000);
+    state.SetLabel(profile.name);
+}
+BENCHMARK(BM_SimulateWorkloadTraced)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_AnnealerRound(benchmark::State &state)
+{
+    // One annealing round against the real simulator — the inner loop
+    // this PR optimizes. Arg(0)=0 regenerates the stream for every
+    // candidate (the old path); Arg(0)=1 replays the shared trace.
+    const bool traced = state.range(0) != 0;
+    const WorkloadProfile &profile = profileByName("gcc");
+    UnitTiming timing;
+    SearchSpace space(timing);
+    SimOptions opts;
+    opts.measureInstrs = 10000;
+    if (traced)
+        opts.trace = sharedTrace(profile, opts.streamId,
+                                 opts.traceOps());
+    AnnealParams params;
+    params.iterations = 20;
+    for (auto _ : state) {
+        Annealer annealer(
+            space,
+            [&](const CoreConfig &cfg) {
+                return simulate(profile, cfg, opts).ipt();
+            },
+            params);
+        const AnnealResult res = annealer.run(space.initialConfig());
+        benchmark::DoNotOptimize(res.bestScore);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 20);
+    state.SetLabel(traced ? "traced" : "streaming");
+}
+BENCHMARK(BM_AnnealerRound)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMillisecond);
 
 void

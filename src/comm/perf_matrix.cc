@@ -5,8 +5,10 @@
 #include <thread>
 
 #include "sim/simulator.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
+#include "workload/trace.hh"
 
 namespace xps
 {
@@ -38,6 +40,17 @@ PerfMatrix::build(const std::vector<WorkloadProfile> &suite,
     for (const auto &p : suite)
         names.push_back(p.name);
 
+    // One immutable trace per workload, generated up front and shared
+    // read-only by every worker: row w's n evaluations replay the same
+    // buffer instead of regenerating the stream n times.
+    SimOptions proto;
+    proto.measureInstrs = instrs;
+    std::vector<std::shared_ptr<const TraceBuffer>> traces;
+    traces.reserve(n);
+    for (const auto &p : suite)
+        traces.push_back(sharedTrace(p, proto.streamId,
+                                     proto.traceOps()));
+
     std::vector<std::vector<double>> ipt(n, std::vector<double>(n, 0.0));
     std::atomic<size_t> next{0};
     auto worker = [&]() {
@@ -45,13 +58,13 @@ PerfMatrix::build(const std::vector<WorkloadProfile> &suite,
              idx = next.fetch_add(1)) {
             const size_t w = idx / n;
             const size_t c = idx % n;
-            SimOptions opts;
-            opts.measureInstrs = instrs;
+            SimOptions opts = proto;
+            opts.trace = traces[w];
             ipt[w][c] = simulate(suite[w], configs[c], opts).ipt();
         }
     };
     std::vector<std::thread> pool;
-    const int nthreads = std::max(1, threads);
+    const int nthreads = resolveThreads(threads);
     pool.reserve(static_cast<size_t>(nthreads));
     for (int t = 0; t < nthreads; ++t)
         pool.emplace_back(worker);

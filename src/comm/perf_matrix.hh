@@ -36,11 +36,12 @@ class PerfMatrix
      * @param configs one customized configuration per workload, in
      *        suite order (columns)
      * @param instrs instructions per evaluation
-     * @param threads worker threads
+     * @param threads worker threads (<=0: resolveThreads() — i.e.
+     *        XPS_THREADS, else the hardware concurrency)
      */
     static PerfMatrix build(const std::vector<WorkloadProfile> &suite,
                             const std::vector<CoreConfig> &configs,
-                            uint64_t instrs, int threads = 2);
+                            uint64_t instrs, int threads = 0);
 
     /** Construct from precomputed values (row-major). */
     PerfMatrix(std::vector<std::string> names,

@@ -4,8 +4,11 @@
 #include <sstream>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 
+#include "util/env.hh"
 #include "util/logging.hh"
+#include "workload/trace.hh"
 
 namespace xps
 {
@@ -36,16 +39,19 @@ Explorer::Explorer(std::vector<WorkloadProfile> suite,
 {
     if (suite_.empty())
         fatal("Explorer: empty workload suite");
-    if (opts_.rounds < 1 || opts_.threads < 1)
+    if (opts_.rounds < 1)
         fatal("Explorer: bad options");
+    opts_.threads = resolveThreads(opts_.threads);
 }
 
 double
 Explorer::evaluate(const WorkloadProfile &profile,
-                   const CoreConfig &config, uint64_t instrs)
+                   const CoreConfig &config, uint64_t instrs,
+                   std::shared_ptr<const TraceBuffer> trace)
 {
     SimOptions opts;
     opts.measureInstrs = instrs;
+    opts.trace = std::move(trace);
     return simulate(profile, config, opts).ipt();
 }
 
@@ -67,13 +73,23 @@ Explorer::exploreAll()
         std::max<uint64_t>(1, opts_.saIters /
                               static_cast<uint64_t>(opts_.rounds));
 
+    // Materialize each workload's stream once; the annealing inner
+    // loop then replays the shared buffer for every candidate
+    // configuration instead of regenerating it per evaluation.
+    // (Evaluations run with the default warmup: measure + warmup =
+    // 2 * evalInstrs ops.)
+    std::vector<std::shared_ptr<const TraceBuffer>> traces(n);
+    for (size_t w = 0; w < n; ++w)
+        traces[w] = sharedTrace(suite_[w], 0, 2 * opts_.evalInstrs);
+
     auto cached_eval = [&](size_t w, const CoreConfig &cfg) {
         auto &m = memo[w];
         const std::string key = archKey(cfg);
         const auto it = m.find(key);
         if (it != m.end())
             return it->second;
-        const double ipt = evaluate(suite_[w], cfg, opts_.evalInstrs);
+        const double ipt =
+            evaluate(suite_[w], cfg, opts_.evalInstrs, traces[w]);
         evals[w].fetch_add(1, std::memory_order_relaxed);
         m.emplace(key, ipt);
         return ipt;
@@ -149,17 +165,22 @@ Explorer::exploreAll()
     const uint64_t score_instrs = opts_.finalEvalInstrs > 0
                                       ? opts_.finalEvalInstrs
                                       : opts_.evalInstrs;
+    // The registry grows each trace in place of regenerating it; the
+    // annealing-length buffers above remain valid for their holders.
+    for (size_t w = 0; w < n; ++w)
+        traces[w] = sharedTrace(suite_[w], 0, 2 * score_instrs);
     std::vector<double> final_ipt(n);
     for (size_t w = 0; w < n; ++w) {
-        final_ipt[w] = evaluate(suite_[w], current[w], score_instrs);
+        final_ipt[w] =
+            evaluate(suite_[w], current[w], score_instrs, traces[w]);
         evals[w].fetch_add(1, std::memory_order_relaxed);
     }
     for (size_t w = 0; w < n; ++w) {
         for (size_t other = 0; other < n; ++other) {
             if (other == w || current[other].sameArch(current[w]))
                 continue;
-            const double ipt =
-                evaluate(suite_[w], current[other], score_instrs);
+            const double ipt = evaluate(suite_[w], current[other],
+                                        score_instrs, traces[w]);
             evals[w].fetch_add(1, std::memory_order_relaxed);
             if (ipt > final_ipt[w] *
                           (1.0 + opts_.grossAdoptionMargin)) {

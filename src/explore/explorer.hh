@@ -33,7 +33,9 @@ struct ExplorerOptions
     uint64_t evalInstrs = 60000; ///< instructions per evaluation
     uint64_t saIters = 300;      ///< total annealing steps per workload
     int rounds = 3;              ///< annealing rounds (adoption between)
-    int threads = 2;             ///< worker threads
+    /** Worker threads (<=0: resolveThreads() — i.e. XPS_THREADS,
+     *  else the hardware concurrency). */
+    int threads = 0;
     uint64_t seed = 7;           ///< master seed
     /** Evaluation length used to score the final configurations
      *  (0 = use evalInstrs). */
@@ -70,10 +72,13 @@ class Explorer
     /** Run the full exploration; results in suite order. */
     std::vector<WorkloadResult> exploreAll();
 
-    /** Evaluate one workload on one configuration (IPT). */
+    /** Evaluate one workload on one configuration (IPT). With a
+     *  trace, the stream is replayed from the shared buffer —
+     *  identical result, a fraction of the cost. */
     static double evaluate(const WorkloadProfile &profile,
-                           const CoreConfig &config,
-                           uint64_t instrs);
+                           const CoreConfig &config, uint64_t instrs,
+                           std::shared_ptr<const TraceBuffer> trace =
+                               nullptr);
 
     const SearchSpace &space() const { return space_; }
 

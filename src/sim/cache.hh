@@ -100,6 +100,15 @@ class MemoryHierarchy
     const Cache &l2() const { return l2_; }
     uint64_t memAccesses() const { return memAccesses_; }
 
+    /** Worst-case load latency (a full miss), for event-horizon
+     *  sizing in the core's wakeup wheel. */
+    int
+    maxLoadLatency() const
+    {
+        return l1Cycles_ + l2Cycles_ + memCycles_ + l1FillCycles_ +
+               l2FillCycles_;
+    }
+
   private:
     Cache l1_;
     Cache l2_;

@@ -1,8 +1,11 @@
 #include "sim/ooo_core.hh"
 
 #include <algorithm>
+#include <bit>
+#include <type_traits>
 
 #include "util/logging.hh"
+#include "workload/trace.hh"
 
 namespace xps
 {
@@ -16,50 +19,52 @@ OooCore::OooCore(const CoreConfig &cfg, const Technology &tech)
                  cfg.l2Sets, cfg.l2Assoc, cfg.l2LineBytes, cfg.l2Cycles,
                  cfg.memCycles(tech)),
       predictor_(),
-      rob_(cfg.robSize)
+      rob_(std::bit_ceil(static_cast<uint64_t>(cfg.robSize)))
 {
+    robMask_ = rob_.size() - 1;
+    storeBySeq_.init(cfg_.lsqSize);
     UnitTiming timing(tech);
     cfg_.validate(timing);
     // Enough fetch-buffer slots to keep the front-end pipe full.
     fetchBufCap_ = static_cast<size_t>(feStages_ + 2) * cfg_.width;
-}
-
-bool
-OooCore::ready(uint64_t seq, const Slot &s) const
-{
-    for (int i = 0; i < s.op.numSrcs; ++i) {
-        const uint32_t dist = s.op.srcDist[i];
-        if (dist == 0)
-            continue;
-        if (dist > seq)
-            continue; // producer predates the simulation
-        const uint64_t prod_seq = seq - dist;
-        if (prod_seq < robHead_)
-            continue; // producer already retired
-        const Slot &prod =
-            rob_[prod_seq % cfg_.robSize];
-        if (!prod.issued || cycle_ < prod.wakeCycle)
-            return false;
-    }
-    return true;
+    fetchBuf_.resize(std::bit_ceil(fetchBufCap_));
+    fetchOps_.resize(fetchBuf_.size());
+    slotOps_.resize(rob_.size());
+    fbMask_ = fetchBuf_.size() - 1;
+    // Event horizon: no wakeup is ever scheduled further ahead than
+    // the worst-case load latency or the awaken latency.
+    const uint64_t horizon = 2 + std::max<uint64_t>(
+        {static_cast<uint64_t>(kAgenCycles +
+                               hierarchy_.maxLoadLatency()),
+         1ULL + static_cast<uint64_t>(awaken_),
+         static_cast<uint64_t>(kMulLatency),
+         static_cast<uint64_t>(kForwardLatency)});
+    wheel_.resize(std::bit_ceil(horizon));
+    wheelMask_ = wheel_.size() - 1;
 }
 
 int
-OooCore::loadLatencyFor(uint64_t seq, const Slot &s)
+OooCore::loadLatencyFor(uint64_t seq, const Slot &s,
+                        uint64_t *blocking_store)
 {
     // Store-to-load forwarding: the youngest older in-flight store to
     // the same 8-byte word supplies the data.
-    const auto it = storeBySeq_.find(s.op.addr >> 3);
-    if (it != storeBySeq_.end() && it->second < seq &&
-        it->second >= robHead_) {
-        const Slot &st = rob_[it->second % cfg_.robSize];
-        if (!st.issued || st.completeCycle > cycle_)
-            return -1; // memory dependence: stall in the IQ
-        return kForwardLatency;
+    const size_t idx = storeBySeq_.find(s.op->addr >> 3);
+    if (idx != StoreMap::npos) {
+        const uint64_t store_seq = storeBySeq_.value(idx);
+        if (store_seq < seq && store_seq >= robHead_) {
+            const Slot &st = rob_[store_seq & robMask_];
+            if (!st.issued || st.completeCycle > cycle_) {
+                if (blocking_store)
+                    *blocking_store = store_seq;
+                return -1; // memory dependence: stall in the IQ
+            }
+            return kForwardLatency;
+        }
     }
     MemoryHierarchy::Level level;
     const int lat =
-        kAgenCycles + hierarchy_.loadLatency(s.op.addr, &level);
+        kAgenCycles + hierarchy_.loadLatency(s.op->addr, &level);
     switch (level) {
       case MemoryHierarchy::Level::L1:
         ++statL1Hits_;
@@ -77,102 +82,226 @@ OooCore::loadLatencyFor(uint64_t seq, const Slot &s)
 }
 
 void
+OooCore::pushReady(uint64_t seq)
+{
+    Slot &s = slot(seq);
+    if (s.issued || s.inReady)
+        return;
+    s.inReady = true;
+    newlyReady_.push_back(seq);
+}
+
+void
+OooCore::mergeReady()
+{
+    if (newlyReady_.empty())
+        return;
+    std::sort(newlyReady_.begin(), newlyReady_.end());
+    const size_t mid = readyList_.size();
+    readyList_.insert(readyList_.end(), newlyReady_.begin(),
+                      newlyReady_.end());
+    std::inplace_merge(readyList_.begin(),
+                       readyList_.begin() + static_cast<long>(mid),
+                       readyList_.end());
+    newlyReady_.clear();
+}
+
+void
+OooCore::wakeEdge(uint64_t consumer_seq)
+{
+    Slot &c = slot(consumer_seq);
+    if (c.waitCount > 0 && --c.waitCount == 0)
+        pushReady(consumer_seq);
+}
+
+void
+OooCore::releaseConsumers(Slot &s)
+{
+    if (s.wokeConsumers)
+        return;
+    s.wokeConsumers = true;
+    for (uint64_t consumer : s.consumers)
+        wakeEdge(consumer);
+    s.consumers.clear();
+}
+
+void
+OooCore::pushEvent(uint64_t cycle, uint64_t seq, Event::Kind kind)
+{
+    wheel_[cycle & wheelMask_].push_back(Event{seq, kind});
+    ++eventCount_;
+    if (cycle < nextEventCycle_)
+        nextEventCycle_ = cycle;
+}
+
+void
+OooCore::blockLoad(uint64_t seq, const Slot &s,
+                   uint64_t blocking_store)
+{
+    Slot &ld = slot(seq);
+    ld.inReady = false;
+    memBlocked_[s.op->addr >> 3].push_back(seq);
+    Slot &st = slot(blocking_store);
+    if (st.issued) {
+        // Forwarding becomes legal once the store has executed.
+        pushEvent(st.completeCycle, seq, Event::Kind::LoadRetry);
+    } else {
+        st.memWaiters.push_back(seq);
+    }
+}
+
+void
+OooCore::wakeMemBlocked(uint64_t addr_word)
+{
+    if (memBlocked_.empty())
+        return; // common case: no loads are memory-blocked
+    const auto it = memBlocked_.find(addr_word);
+    if (it == memBlocked_.end())
+        return;
+    for (uint64_t seq : it->second) {
+        if (seq < robHead_)
+            continue; // already issued and retired
+        Slot &ld = slot(seq);
+        if (!ld.issued && ld.waitCount == 0)
+            pushReady(seq);
+    }
+    memBlocked_.erase(it);
+}
+
+void
+OooCore::processWakeups()
+{
+    if (nextEventCycle_ > cycle_)
+        return;
+    // Events are only ever scheduled in the future, so the earliest
+    // pending cycle is exactly cycle_ here and every event in this
+    // bucket is due (the wheel outspans the latency horizon; no
+    // bucket mixes cycles).
+    std::vector<Event> &bucket = wheel_[cycle_ & wheelMask_];
+    for (const Event &e : bucket) {
+        if (e.seq < robHead_)
+            continue; // retired: consumers were woken at commit
+        Slot &s = slot(e.seq);
+        if (e.kind == Event::Kind::ProducerWake) {
+            releaseConsumers(s);
+        } else {
+            if (!s.issued && s.waitCount == 0)
+                pushReady(e.seq);
+        }
+    }
+    eventCount_ -= bucket.size();
+    bucket.clear();
+    if (eventCount_ == 0) {
+        nextEventCycle_ = UINT64_MAX;
+        return;
+    }
+    uint64_t c = cycle_ + 1;
+    while (wheel_[c & wheelMask_].empty())
+        ++c;
+    nextEventCycle_ = c;
+}
+
+uint32_t
 OooCore::doCommit()
 {
     uint32_t commits = 0;
     while (commits < cfg_.width && robHead_ < robTail_ &&
            committed_ < commitTarget_) {
-        Slot &s = rob_[robHead_ % cfg_.robSize];
+        Slot &s = rob_[robHead_ & robMask_];
         if (!s.issued || s.completeCycle > cycle_)
             break;
-        if (s.op.isStore()) {
-            hierarchy_.storeTouch(s.op.addr);
-            const auto it = storeBySeq_.find(s.op.addr >> 3);
-            if (it != storeBySeq_.end() && it->second == robHead_)
-                storeBySeq_.erase(it);
-        }
-        if (s.op.isMem())
-            --lsqCount_;
-        if (s.op.isLoad())
+        // Retirement can beat the scheduled wake when the awaken
+        // latency exceeds the execution latency: a retired producer's
+        // operands are available immediately.
+        releaseConsumers(s);
+        switch (s.op->cls) {
+          case OpClass::Load:
             ++statLoads_;
-        if (s.op.isStore())
+            --lsqCount_;
+            break;
+          case OpClass::Store: {
+            hierarchy_.storeTouch(s.op->addr);
+            const size_t idx = storeBySeq_.find(s.op->addr >> 3);
+            if (idx != StoreMap::npos &&
+                storeBySeq_.value(idx) == robHead_)
+                storeBySeq_.eraseAt(idx);
             ++statStores_;
-        if (s.op.cls == OpClass::CondBranch) {
+            --lsqCount_;
+            break;
+          }
+          case OpClass::CondBranch:
             ++statBranches_;
             if (s.mispredict)
                 ++statMispredicts_;
+            break;
+          default:
+            break;
         }
         ++robHead_;
         ++committed_;
         ++commits;
     }
+    return commits;
 }
 
-void
+uint32_t
 OooCore::doIssue()
 {
+    processWakeups();
+    mergeReady();
+
     uint32_t issued = 0;
     uint32_t alu_used = 0, mul_used = 0, mem_used = 0;
     size_t keep = 0;
-    for (size_t i = 0; i < iq_.size(); ++i) {
-        const uint64_t seq = iq_[i];
-        Slot &s = rob_[seq % cfg_.robSize];
+    for (size_t i = 0; i < readyList_.size(); ++i) {
+        const uint64_t seq = readyList_[i];
+        Slot &s = rob_[seq & robMask_];
         if (issued >= cfg_.width) {
-            iq_[keep++] = seq;
+            readyList_[keep++] = seq;
             continue;
         }
 
-        // Functional-unit availability.
+        // Functional-unit availability, then execution latency.
         int lat = 1;
-        switch (s.op.cls) {
+        switch (s.op->cls) {
           case OpClass::IntAlu:
           case OpClass::CondBranch:
           case OpClass::Jump:
             if (alu_used >= cfg_.width) {
-                iq_[keep++] = seq;
+                readyList_[keep++] = seq;
                 continue;
             }
-            break;
-          case OpClass::IntMul:
-            if (mul_used >= mulUnits_) {
-                iq_[keep++] = seq;
-                continue;
-            }
-            break;
-          case OpClass::Load:
-          case OpClass::Store:
-            if (mem_used >= kMemPorts) {
-                iq_[keep++] = seq;
-                continue;
-            }
-            break;
-        }
-
-        if (!ready(seq, s)) {
-            iq_[keep++] = seq;
-            continue;
-        }
-
-        switch (s.op.cls) {
-          case OpClass::IntAlu:
-          case OpClass::CondBranch:
-          case OpClass::Jump:
             lat = 1;
             ++alu_used;
             break;
           case OpClass::IntMul:
+            if (mul_used >= mulUnits_) {
+                readyList_[keep++] = seq;
+                continue;
+            }
             lat = kMulLatency;
             ++mul_used;
             break;
           case OpClass::Store:
+            if (mem_used >= kMemPorts) {
+                readyList_[keep++] = seq;
+                continue;
+            }
             lat = kAgenCycles;
             ++mem_used;
             break;
           case OpClass::Load: {
-            const int load_lat = loadLatencyFor(seq, s);
+            if (mem_used >= kMemPorts) {
+                readyList_[keep++] = seq;
+                continue;
+            }
+            uint64_t blocking_store = 0;
+            const int load_lat =
+                loadLatencyFor(seq, s, &blocking_store);
             if (load_lat < 0) {
-                // Blocked on an unexecuted older store.
-                iq_[keep++] = seq;
+                // Blocked on an unexecuted older store: leave the
+                // ready list until a retry trigger fires.
+                blockLoad(seq, s, blocking_store);
                 continue;
             }
             lat = load_lat;
@@ -182,67 +311,129 @@ OooCore::doIssue()
         }
 
         s.issued = true;
+        s.inReady = false;
+        --iqCount_;
         s.completeCycle = cycle_ + static_cast<uint64_t>(lat);
         s.wakeCycle = cycle_ + std::max<uint64_t>(
             static_cast<uint64_t>(lat),
             1ULL + static_cast<uint64_t>(awaken_));
+        pushEvent(s.wakeCycle, seq, Event::Kind::ProducerWake);
+        if (s.op->isStore() && !s.memWaiters.empty()) {
+            for (uint64_t waiter : s.memWaiters) {
+                pushEvent(s.completeCycle, waiter,
+                          Event::Kind::LoadRetry);
+            }
+            s.memWaiters.clear();
+        }
         ++issued;
 
-        if (s.op.cls == OpClass::CondBranch && s.mispredict) {
+        if (s.op->cls == OpClass::CondBranch && s.mispredict) {
             // Resolution redirects the front end; the refill cost is
             // the per-instruction front-end delay at dispatch.
             nextFetchCycle_ = s.completeCycle;
             fetchBlocked_ = false;
         }
     }
-    iq_.resize(keep);
+    readyList_.resize(keep);
+    return issued;
 }
 
-void
+template <bool kCopyOps>
+uint32_t
 OooCore::doDispatch()
 {
     uint32_t dispatched = 0;
-    while (dispatched < cfg_.width && !fetchBuf_.empty()) {
-        const Fetched &f = fetchBuf_.front();
+    while (dispatched < cfg_.width && fbHead_ != fbTail_) {
+        const Fetched &f = fetchBuf_[fbHead_ & fbMask_];
         if (f.fetchCycle + static_cast<uint64_t>(feStages_) > cycle_)
             break; // still in the front-end pipe
         if (robTail_ - robHead_ >= cfg_.robSize)
             break; // ROB full
-        if (iq_.size() >= cfg_.iqSize)
+        if (iqCount_ >= cfg_.iqSize)
             break; // IQ full
-        if (f.op.isMem() && lsqCount_ >= cfg_.lsqSize)
+        if (f.op->isMem() && lsqCount_ >= cfg_.lsqSize)
             break; // LSQ full
 
-        Slot &s = rob_[robTail_ % cfg_.robSize];
-        s = Slot{};
-        s.op = f.op;
+        const uint64_t seq = robTail_;
+        Slot &s = rob_[seq & robMask_];
+        if constexpr (kCopyOps) {
+            // Streaming: f.op points into the fetch ring, whose
+            // entry is recycled before this slot retires.
+            slotOps_[seq & robMask_] = *f.op;
+            s.op = &slotOps_[seq & robMask_];
+        } else {
+            // Replay: f.op points into the immutable trace buffer,
+            // which outlives the run.
+            s.op = f.op;
+        }
         s.fetchCycle = f.fetchCycle;
+        s.completeCycle = 0;
+        s.wakeCycle = 0;
+        s.issued = false;
         s.mispredict = f.mispredict;
-        iq_.push_back(robTail_);
-        if (f.op.isMem())
+        s.waitCount = 0;
+        s.inReady = false;
+        s.wokeConsumers = false;
+        s.consumers.clear();
+        s.memWaiters.clear();
+
+        // Resolve register sources once: count the pending producers
+        // and register on their consumer lists.
+        for (int i = 0; i < s.op->numSrcs; ++i) {
+            const uint32_t dist = s.op->srcDist[i];
+            if (dist == 0 || dist > seq)
+                continue;
+            const uint64_t prod_seq = seq - dist;
+            if (prod_seq < robHead_)
+                continue; // producer already retired
+            Slot &prod = rob_[prod_seq & robMask_];
+            if (prod.wokeConsumers)
+                continue; // result already available
+            prod.consumers.push_back(seq);
+            ++s.waitCount;
+        }
+        if (s.waitCount == 0)
+            pushReady(seq);
+
+        ++iqCount_;
+        if (f.op->isMem())
             ++lsqCount_;
-        if (f.op.isStore())
-            storeBySeq_[f.op.addr >> 3] = robTail_;
+        if (f.op->isStore()) {
+            storeBySeq_.insertOrAssign(f.op->addr >> 3, seq);
+            // A younger same-word store changes the forwarding
+            // outcome of any blocked load: make them re-check.
+            wakeMemBlocked(f.op->addr >> 3);
+        }
         ++robTail_;
         ++dispatched;
-        fetchBuf_.pop_front();
+        ++fbHead_;
     }
+    return dispatched;
 }
 
-void
-OooCore::doFetch(SyntheticWorkload &workload)
+template <typename Source>
+uint32_t
+OooCore::doFetch(Source &source)
 {
     if (fetchBlocked_ || cycle_ < nextFetchCycle_)
-        return;
+        return 0;
     uint32_t fetched = 0;
-    while (fetched < cfg_.width && fetchBuf_.size() < fetchBufCap_) {
-        const MicroOp &op = workload.next();
-        Fetched f;
-        f.op = op;
+    while (fetched < cfg_.width && fbTail_ - fbHead_ < fetchBufCap_) {
+        const uint64_t idx = fbTail_++ & fbMask_;
+        Fetched &f = fetchBuf_[idx];
+        if constexpr (std::is_same_v<Source, TraceCursor>) {
+            // Replay: stage a pointer into the immutable buffer.
+            f.op = &source.next();
+        } else {
+            // Streaming: the generator recycles its op storage, so
+            // park a copy in the ring until dispatch.
+            fetchOps_[idx] = source.next();
+            f.op = &fetchOps_[idx];
+        }
+        const MicroOp &op = *f.op;
         f.fetchCycle = cycle_;
-        if (op.cls == OpClass::CondBranch)
-            f.mispredict = !predictor_.predict(op.pc, op.taken);
-        fetchBuf_.push_back(f);
+        f.mispredict = op.cls == OpClass::CondBranch &&
+                       !predictor_.predict(op.pc, op.taken);
         ++fetched;
         if (f.mispredict) {
             // Fetch stops until the branch resolves (trace-driven
@@ -253,20 +444,68 @@ OooCore::doFetch(SyntheticWorkload &workload)
         if (op.isControl() && op.taken)
             break; // a taken control op ends the fetch group
     }
+    return fetched;
 }
 
+void
+OooCore::skipIdle()
+{
+    // The cycle just simulated moved nothing: no commit, no issue
+    // (which also means the ready list is empty — the age-ordered
+    // walk issues its first entry unless every entry is a load that
+    // memory-blocked, and blocked loads leave the list), no dispatch
+    // and no fetch. Machine state is therefore frozen until one of
+    // the pending triggers fires:
+    //   - the earliest scheduled wakeup / load-retry event,
+    //   - the ROB head finishing execution (commit resumes),
+    //   - the oldest fetched op clearing the front-end pipe
+    //     (dispatch resumes),
+    //   - the fetch redirect point (fetch resumes).
+    // Jumping the clock to the earliest trigger is bit-identical to
+    // stepping through the intervening cycles one by one; only the
+    // per-cycle ROB-occupancy accumulation has to be replayed, and
+    // occupancy is constant while the machine is frozen.
+    uint64_t next = nextEventCycle_;
+    if (robHead_ < robTail_) {
+        const Slot &head = rob_[robHead_ & robMask_];
+        if (head.issued)
+            next = std::min(next, head.completeCycle);
+    }
+    if (fbHead_ != fbTail_) {
+        next = std::min(next, fetchBuf_[fbHead_ & fbMask_].fetchCycle +
+                                  static_cast<uint64_t>(feStages_));
+    }
+    if (!fetchBlocked_ && fbTail_ - fbHead_ < fetchBufCap_)
+        next = std::min(next, nextFetchCycle_);
+    // Triggers at or before cycle_ + 1 (e.g. a dispatch stalled on a
+    // full ROB whose front-end delay already elapsed) mean the very
+    // next cycle must be simulated normally; a missing trigger means
+    // deadlock, which the caller's cycle guard is left to diagnose.
+    if (next == UINT64_MAX || next <= cycle_ + 1)
+        return;
+    statRobOccSum_ += (robTail_ - robHead_) * (next - 1 - cycle_);
+    cycle_ = next - 1;
+}
+
+template <typename Source>
 SimStats
-OooCore::run(SyntheticWorkload &workload, uint64_t measure,
-             uint64_t warmup)
+OooCore::runImpl(Source &source, uint64_t measure, uint64_t warmup)
 {
     // Reset all machine state.
     hierarchy_.reset();
     predictor_.reset();
-    fetchBuf_.clear();
+    fbHead_ = fbTail_ = 0;
     storeBySeq_.clear();
-    iq_.clear();
+    readyList_.clear();
+    newlyReady_.clear();
+    for (auto &bucket : wheel_)
+        bucket.clear();
+    eventCount_ = 0;
+    nextEventCycle_ = UINT64_MAX;
+    memBlocked_.clear();
     cycle_ = 0;
     robHead_ = robTail_ = 0;
+    iqCount_ = 0;
     lsqCount_ = 0;
     fetchBlocked_ = false;
     nextFetchCycle_ = 0;
@@ -283,22 +522,31 @@ OooCore::run(SyntheticWorkload &workload, uint64_t measure,
     // the same length would leave multi-megabyte L2s cold and bias
     // the exploration against capacity).
     for (uint64_t i = 0; i < warmup; ++i) {
-        const MicroOp &op = workload.next();
-        if (op.isLoad())
+        const MicroOp &op = source.next();
+        switch (op.cls) {
+          case OpClass::Load:
             hierarchy_.loadLatency(op.addr);
-        else if (op.isStore())
+            break;
+          case OpClass::Store:
             hierarchy_.storeTouch(op.addr);
-        else if (op.cls == OpClass::CondBranch)
+            break;
+          case OpClass::CondBranch:
             predictor_.predict(op.pc, op.taken);
+            break;
+          default:
+            break;
+        }
     }
 
     commitTarget_ = measure;
     const uint64_t cycle_guard = 2000 * measure + 10000000ULL;
     while (committed_ < measure) {
-        doCommit();
-        doIssue();
-        doDispatch();
-        doFetch(workload);
+        uint32_t moved = doCommit();
+        moved += doIssue();
+        moved += doDispatch<!std::is_same_v<Source, TraceCursor>>();
+        moved += doFetch(source);
+        if (moved == 0)
+            skipIdle(); // jump a stall to its next trigger cycle
         statRobOccSum_ += robTail_ - robHead_;
         ++cycle_;
         if (cycle_ > cycle_guard)
@@ -322,6 +570,19 @@ OooCore::run(SyntheticWorkload &workload, uint64_t measure,
     out.mispredicts = statMispredicts_;
     out.robOccupancySum = statRobOccSum_;
     return out;
+}
+
+SimStats
+OooCore::run(SyntheticWorkload &workload, uint64_t measure,
+             uint64_t warmup)
+{
+    return runImpl(workload, measure, warmup);
+}
+
+SimStats
+OooCore::run(TraceCursor &trace, uint64_t measure, uint64_t warmup)
+{
+    return runImpl(trace, measure, warmup);
 }
 
 } // namespace xps

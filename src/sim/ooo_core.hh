@@ -6,8 +6,8 @@
  * Modelled per cycle, oldest-first:
  *   commit   : up to `width` completed instructions leave the ROB; a
  *              committing store writes the cache hierarchy.
- *   issue    : up to `width` ready instructions issue from the issue
- *              queue, subject to ALU / multiplier / cache-port limits;
+ *   issue    : up to `width` ready instructions issue from the ready
+ *              list, subject to ALU / multiplier / cache-port limits;
  *              a dependent instruction may issue no earlier than its
  *              producer's wake cycle (producer issue + max(execution
  *              latency, 1 + awaken latency)), so a deeper scheduler
@@ -25,6 +25,22 @@
  *              resolves (trace-driven misprediction model: the wrong
  *              path is not simulated, the fetch redirect is).
  *
+ * Scheduling is an explicit-wakeup ready-list design (DESIGN.md §6):
+ * instead of re-walking the issue queue and re-testing every source
+ * operand each cycle (O(IQ x cycles)), each dependence edge is
+ * examined O(1) times. At dispatch an instruction counts its
+ * unresolved sources and registers itself on each producer's consumer
+ * list; when a producer issues it schedules a wakeup event at its
+ * wake cycle (and fires early if it commits first), decrementing the
+ * consumers' wait counts; instructions whose count hits zero enter an
+ * age-ordered ready list from which issue selects greedily under the
+ * same width/port limits as before. Memory-dependence stalls (a load
+ * behind an unexecuted same-word store) are handled with per-store
+ * waiter lists and retry events at the store's complete cycle, plus a
+ * re-check when a newer same-word store dispatches — preserving the
+ * per-cycle-scan semantics bit-exactly (the sim_test golden snapshot
+ * enforces this).
+ *
  * Loads probe the hierarchy at issue (address generation = 1 cycle);
  * store-to-load forwarding is modelled through an in-flight store
  * table; a load whose producing store has not yet executed stalls in
@@ -40,8 +56,9 @@
 #ifndef XPS_SIM_OOO_CORE_HH
 #define XPS_SIM_OOO_CORE_HH
 
+#include <algorithm>
+#include <bit>
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 #include <vector>
 
@@ -53,6 +70,8 @@
 
 namespace xps
 {
+
+class TraceCursor;
 
 /** One core executing one workload stream. */
 class OooCore
@@ -68,36 +87,186 @@ class OooCore
     SimStats run(SyntheticWorkload &workload, uint64_t measure,
                  uint64_t warmup);
 
+    /** Same, replaying a pre-generated trace (bit-identical to the
+     *  streaming overload for the same profile/stream). */
+    SimStats run(TraceCursor &trace, uint64_t measure,
+                 uint64_t warmup);
+
     const CoreConfig &config() const { return cfg_; }
 
   private:
-    /** Per-instruction in-flight state (ROB slot). */
+    /** Per-instruction in-flight state (ROB slot). The micro-op is
+     *  held by pointer: trace replay points straight into the shared
+     *  immutable buffer (no copy on the hot path); streaming
+     *  generation points into the slot's entry in `slotOps_`. */
     struct Slot
     {
-        MicroOp op;
+        const MicroOp *op = nullptr;
         uint64_t fetchCycle = 0;
         uint64_t completeCycle = 0; ///< valid once issued
         uint64_t wakeCycle = 0;     ///< when dependents may issue
         bool issued = false;
         bool mispredict = false;
+
+        // --- scheduler state (reset at dispatch) ---
+        uint8_t waitCount = 0;      ///< unresolved register sources
+        bool inReady = false;       ///< queued for issue
+        bool wokeConsumers = false; ///< dependents already released
+        /** Register dependents waiting on this producer. */
+        std::vector<uint64_t> consumers;
+        /** Loads memory-blocked on this (store) instruction. */
+        std::vector<uint64_t> memWaiters;
     };
 
-    /** An instruction between fetch and dispatch. */
+    /** An instruction between fetch and dispatch (op by pointer —
+     *  into the trace buffer, or into `fetchOps_` when streaming). */
     struct Fetched
     {
-        MicroOp op;
+        const MicroOp *op = nullptr;
         uint64_t fetchCycle = 0;
         bool mispredict = false;
     };
 
-    Slot &slot(uint64_t seq) { return rob_[seq % cfg_.robSize]; }
+    /** A scheduled wakeup (its cycle is the wheel bucket index). */
+    struct Event
+    {
+        uint64_t seq;
+        enum class Kind : uint8_t { ProducerWake, LoadRetry } kind;
+    };
 
-    void doCommit();
-    void doIssue();
-    void doDispatch();
-    void doFetch(SyntheticWorkload &workload);
-    bool ready(uint64_t seq, const Slot &s) const;
-    int loadLatencyFor(uint64_t seq, const Slot &s);
+    /**
+     * Flat open-addressed map from 8-byte address word to the seq of
+     * the youngest in-flight store to it. The store-forwarding path
+     * hits this once per load issue and twice per store lifetime; a
+     * node-based map's allocation per insert dominates that cost.
+     * Linear probing with backward-shift deletion; sized at 4x the
+     * LSQ (the live-entry bound), so probes are short.
+     */
+    class StoreMap
+    {
+      public:
+        static constexpr size_t npos = SIZE_MAX;
+
+        void
+        init(size_t max_entries)
+        {
+            size_t cap = std::bit_ceil(max_entries * 4);
+            if (cap < 16)
+                cap = 16;
+            table_.assign(cap, Entry{});
+            mask_ = cap - 1;
+        }
+
+        void
+        clear()
+        {
+            std::fill(table_.begin(), table_.end(), Entry{});
+        }
+
+        /** Index of `key`, or npos. */
+        size_t
+        find(uint64_t key) const
+        {
+            for (size_t i = bucket(key);; i = (i + 1) & mask_) {
+                if (!table_[i].used)
+                    return npos;
+                if (table_[i].key == key)
+                    return i;
+            }
+        }
+
+        uint64_t value(size_t i) const { return table_[i].val; }
+
+        void
+        insertOrAssign(uint64_t key, uint64_t val)
+        {
+            for (size_t i = bucket(key);; i = (i + 1) & mask_) {
+                if (!table_[i].used) {
+                    table_[i] = Entry{key, val, true};
+                    return;
+                }
+                if (table_[i].key == key) {
+                    table_[i].val = val;
+                    return;
+                }
+            }
+        }
+
+        /** Remove the entry at `i`, keeping probe chains intact. */
+        void
+        eraseAt(size_t i)
+        {
+            size_t j = i;
+            while (true) {
+                table_[i].used = false;
+                uint64_t home;
+                do {
+                    j = (j + 1) & mask_;
+                    if (!table_[j].used)
+                        return;
+                    home = bucket(table_[j].key);
+                } while (i <= j ? (i < home && home <= j)
+                                : (i < home || home <= j));
+                table_[i] = table_[j];
+                i = j;
+            }
+        }
+
+      private:
+        struct Entry
+        {
+            uint64_t key = 0;
+            uint64_t val = 0;
+            bool used = false;
+        };
+
+        size_t
+        bucket(uint64_t key) const
+        {
+            return static_cast<size_t>(key *
+                                       0x9E3779B97F4A7C15ULL) &
+                   mask_;
+        }
+
+        std::vector<Entry> table_;
+        size_t mask_ = 0;
+    };
+
+    /**
+     * ROB slot for an in-flight sequence number. The backing array is
+     * the ROB capacity rounded up to a power of two, so the modulo is
+     * a mask: in-flight seqs span less than robSize, hence never
+     * collide. Capacity checks use robSize itself, not the array.
+     */
+    Slot &slot(uint64_t seq) { return rob_[seq & robMask_]; }
+
+    // Each phase returns how many instructions it moved; a cycle in
+    // which all four return zero is provably idle (see skipIdle()).
+    uint32_t doCommit();
+    uint32_t doIssue();
+    /** kCopyOps: streaming sources return a reference into the
+     *  generator that the next op overwrites, so dispatch must copy
+     *  the op into slot-owned storage; trace replay must not. */
+    template <bool kCopyOps> uint32_t doDispatch();
+    template <typename Source> uint32_t doFetch(Source &source);
+    void skipIdle();
+    template <typename Source>
+    SimStats runImpl(Source &source, uint64_t measure,
+                     uint64_t warmup);
+
+    int loadLatencyFor(uint64_t seq, const Slot &s,
+                       uint64_t *blocking_store);
+
+    // --- ready-list scheduler helpers ---
+    void pushReady(uint64_t seq);
+    void mergeReady();
+    void pushEvent(uint64_t cycle, uint64_t seq, Event::Kind kind);
+    void processWakeups();
+    void wakeEdge(uint64_t consumer_seq);
+    void releaseConsumers(Slot &s);
+    void blockLoad(uint64_t seq, const Slot &s,
+                   uint64_t blocking_store);
+    void wakeMemBlocked(uint64_t addr_word);
 
     CoreConfig cfg_;
     const Technology &tech_;
@@ -115,16 +284,48 @@ class OooCore
     BranchPredictor predictor_;
 
     std::vector<Slot> rob_;
-    /** Sequence numbers of dispatched, not-yet-issued instructions,
-     *  oldest first (the issue queue). Compacted every cycle, so the
-     *  per-cycle issue scan is O(iqSize) regardless of ROB size. */
-    std::vector<uint64_t> iq_;
-    std::deque<Fetched> fetchBuf_;
+    /** Streaming-mode op storage parallel to rob_ (unused when
+     *  replaying a trace — slots then point into the buffer). */
+    std::vector<MicroOp> slotOps_;
+    uint64_t robMask_ = 0;
+    /** Sequence numbers of dispatched instructions whose register
+     *  sources are all available, oldest first. Issue walks only this
+     *  list; waiting instructions cost nothing per cycle. */
+    std::vector<uint64_t> readyList_;
+    /** Instructions woken since the last merge (unsorted). */
+    std::vector<uint64_t> newlyReady_;
+    /**
+     * Calendar wheel of pending wakeup events, indexed by cycle
+     * modulo the wheel size. Every event lies within the worst-case
+     * latency horizon of the current cycle (the wheel is sized past
+     * it in the constructor), so a bucket never mixes cycles: O(1)
+     * push, and per cycle only the current bucket is drained.
+     * `nextEventCycle_` is the exact earliest pending cycle — it
+     * gives skipIdle() and the common empty-cycle check an O(1)
+     * answer without a heap.
+     */
+    std::vector<std::vector<Event>> wheel_;
+    uint64_t wheelMask_ = 0;
+    uint64_t eventCount_ = 0;
+    uint64_t nextEventCycle_ = UINT64_MAX;
+    /** Memory-blocked loads per 8-byte-aligned address word. */
+    std::unordered_map<uint64_t, std::vector<uint64_t>> memBlocked_;
+
+    /** Fetched-but-not-dispatched ring (capacity fetchBufCap_,
+     *  storage a power of two for cheap index masking). */
+    std::vector<Fetched> fetchBuf_;
+    /** Streaming-mode op storage parallel to fetchBuf_ (unused when
+     *  replaying a trace). */
+    std::vector<MicroOp> fetchOps_;
+    uint64_t fbMask_ = 0;
+    uint64_t fbHead_ = 0; ///< index of oldest fetched op
+    uint64_t fbTail_ = 0; ///< index of next fetch slot
     size_t fetchBufCap_ = 0;
 
     uint64_t cycle_ = 0;
     uint64_t robHead_ = 0; ///< seq of oldest in flight
     uint64_t robTail_ = 0; ///< seq of next allocation
+    uint32_t iqCount_ = 0; ///< dispatched, not yet issued
     uint32_t lsqCount_ = 0;
     bool fetchBlocked_ = false;
     uint64_t nextFetchCycle_ = 0;
@@ -132,7 +333,7 @@ class OooCore
     uint64_t commitTarget_ = 0; ///< stop committing exactly here
 
     /** Latest in-flight store per 8-byte-aligned address. */
-    std::unordered_map<uint64_t, uint64_t> storeBySeq_;
+    StoreMap storeBySeq_;
 
     // Raw counters (SimStats deltas are taken around warmup).
     uint64_t statLoads_ = 0, statStores_ = 0;

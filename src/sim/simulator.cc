@@ -1,7 +1,9 @@
 #include "sim/simulator.hh"
 
 #include "sim/ooo_core.hh"
+#include "util/logging.hh"
 #include "workload/generator.hh"
+#include "workload/trace.hh"
 
 namespace xps
 {
@@ -10,8 +12,30 @@ SimStats
 simulate(const WorkloadProfile &profile, const CoreConfig &config,
          const SimOptions &opts)
 {
-    SyntheticWorkload workload(profile, opts.streamId);
     OooCore core(config);
+    if (opts.trace) {
+        const TraceBuffer &trace = *opts.trace;
+        if (trace.fingerprint() != profileFingerprint(profile) ||
+            trace.streamId() != opts.streamId) {
+            fatal("simulate: trace '%s' (stream %llu) does not match "
+                  "workload '%s' (stream %llu)",
+                  trace.profileName().c_str(),
+                  static_cast<unsigned long long>(trace.streamId()),
+                  profile.name.c_str(),
+                  static_cast<unsigned long long>(opts.streamId));
+        }
+        if (trace.size() < opts.traceOps()) {
+            fatal("simulate: trace '%s' holds %llu ops, run needs "
+                  ">= %llu (request a longer sharedTrace())",
+                  trace.profileName().c_str(),
+                  static_cast<unsigned long long>(trace.size()),
+                  static_cast<unsigned long long>(opts.traceOps()));
+        }
+        TraceCursor cursor(opts.trace);
+        return core.run(cursor, opts.measureInstrs,
+                        opts.effectiveWarmup());
+    }
+    SyntheticWorkload workload(profile, opts.streamId);
     return core.run(workload, opts.measureInstrs,
                     opts.effectiveWarmup());
 }

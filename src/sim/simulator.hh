@@ -9,6 +9,7 @@
 #define XPS_SIM_SIMULATOR_HH
 
 #include <cstdint>
+#include <memory>
 
 #include "sim/config.hh"
 #include "sim/sim_stats.hh"
@@ -16,6 +17,8 @@
 
 namespace xps
 {
+
+class TraceBuffer;
 
 /** Options for one simulation run. */
 struct SimOptions
@@ -27,6 +30,16 @@ struct SimOptions
     uint64_t warmupInstrs = UINT64_MAX; ///< UINT64_MAX = measure
     /** Decorrelates the workload stream across runs. */
     uint64_t streamId = 0;
+    /**
+     * Optional pre-generated trace (see workload/trace.hh). When set,
+     * the stream is replayed from the shared buffer instead of being
+     * regenerated — bit-identical results, an order of magnitude less
+     * per-evaluation work. The buffer must match (profile, streamId)
+     * and hold at least measure + warmup ops (sharedTrace() sizes it
+     * with slack); otherwise streaming generation is the fallback by
+     * simply leaving this null.
+     */
+    std::shared_ptr<const TraceBuffer> trace;
 
     uint64_t
     effectiveWarmup() const
@@ -34,12 +47,21 @@ struct SimOptions
         return warmupInstrs == UINT64_MAX ? measureInstrs
                                           : warmupInstrs;
     }
+
+    /** Micro-ops a trace must hold for this run (excluding the
+     *  in-flight slack the registry adds on top). */
+    uint64_t
+    traceOps() const
+    {
+        return measureInstrs + effectiveWarmup();
+    }
 };
 
 /**
- * Simulate `profile` on `config`. Deterministic for fixed arguments.
- * The configuration is validated against the default technology's
- * timing model (fatal if any unit does not fit its stage budget).
+ * Simulate `profile` on `config`. Deterministic for fixed arguments,
+ * and independent of whether `opts.trace` is set. The configuration
+ * is validated against the default technology's timing model (fatal
+ * if any unit does not fit its stage budget).
  */
 SimStats simulate(const WorkloadProfile &profile,
                   const CoreConfig &config,

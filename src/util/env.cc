@@ -28,6 +28,19 @@ envString(const char *name, const std::string &def)
     return (val && *val) ? std::string(val) : def;
 }
 
+int
+resolveThreads(int requested)
+{
+    if (requested > 0)
+        return requested;
+    int n = static_cast<int>(envInt("XPS_THREADS", 0));
+    if (n <= 0)
+        n = static_cast<int>(std::thread::hardware_concurrency());
+    if (n <= 0)
+        n = 2; // hardware_concurrency may be unknowable
+    return n;
+}
+
 const Budget &
 Budget::get()
 {
@@ -39,12 +52,7 @@ Budget::get()
         b.finalInstrs = static_cast<uint64_t>(
             envInt("XPS_FINAL_INSTRS", 200000));
         b.resultsDir = envString("XPS_RESULTS_DIR", "results");
-        const int hw = static_cast<int>(
-            std::thread::hardware_concurrency());
-        b.threads = static_cast<int>(
-            envInt("XPS_THREADS", hw > 0 ? hw : 2));
-        if (b.threads < 1)
-            b.threads = 1;
+        b.threads = resolveThreads();
         return b;
     }();
     return budget;

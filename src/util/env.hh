@@ -26,6 +26,15 @@ int64_t envInt(const char *name, int64_t def);
 /** Read a string environment variable with a default. */
 std::string envString(const char *name, const std::string &def);
 
+/**
+ * Resolve a worker-thread count. A positive `requested` wins;
+ * otherwise XPS_THREADS; otherwise the hardware concurrency; always
+ * at least 1. Every parallel entry point (Explorer, PerfMatrix,
+ * the bench drivers) routes through this so XPS_THREADS is honored
+ * uniformly.
+ */
+int resolveThreads(int requested = 0);
+
 /** Budget knobs resolved once per process. */
 struct Budget
 {

@@ -50,6 +50,15 @@ struct MicroOp
     /** Static site of a branch (synthetic PC for predictor indexing). */
     uint64_t pc = 0;
 
+    bool
+    operator==(const MicroOp &o) const
+    {
+        return cls == o.cls && numSrcs == o.numSrcs &&
+               srcDist[0] == o.srcDist[0] &&
+               srcDist[1] == o.srcDist[1] && addr == o.addr &&
+               taken == o.taken && pc == o.pc;
+    }
+
     bool isLoad() const { return cls == OpClass::Load; }
     bool isStore() const { return cls == OpClass::Store; }
     bool isMem() const { return isLoad() || isStore(); }

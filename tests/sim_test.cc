@@ -15,6 +15,7 @@
 #include "sim/simulator.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
+#include "workload/trace.hh"
 
 using namespace xps;
 
@@ -455,6 +456,120 @@ TEST(OooCore, ClockChangesIptNotJustIpc)
     const SimStats fast_s = quickSim("perl", referenceConfig());
     const SimStats slow_s = quickSim("perl", slow);
     EXPECT_GT(fast_s.ipt(), slow_s.ipt());
+}
+
+// --- trace replay vs streaming generation ------------------------------------
+
+void
+expectSameStats(const SimStats &a, const SimStats &b)
+{
+    EXPECT_EQ(a.instructions, b.instructions);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.clockNs, b.clockNs);
+    EXPECT_EQ(a.condBranches, b.condBranches);
+    EXPECT_EQ(a.mispredicts, b.mispredicts);
+    EXPECT_EQ(a.loads, b.loads);
+    EXPECT_EQ(a.stores, b.stores);
+    EXPECT_EQ(a.l1Hits, b.l1Hits);
+    EXPECT_EQ(a.l1Misses, b.l1Misses);
+    EXPECT_EQ(a.l2Hits, b.l2Hits);
+    EXPECT_EQ(a.l2Misses, b.l2Misses);
+    EXPECT_EQ(a.robOccupancySum, b.robOccupancySum);
+}
+
+TEST(TraceReplay, MatchesStreamingBitIdentical)
+{
+    // The trace path must be an optimization, not a model change:
+    // every statistic matches streaming generation exactly.
+    for (const char *name : {"gcc", "mcf", "perl", "twolf"}) {
+        const WorkloadProfile &profile = profileByName(name);
+        for (const CoreConfig &cfg :
+             {CoreConfig::initial(), referenceConfig()}) {
+            SimOptions opts;
+            opts.measureInstrs = 12000;
+            const SimStats streamed = simulate(profile, cfg, opts);
+            opts.trace =
+                sharedTrace(profile, opts.streamId, opts.traceOps());
+            const SimStats traced = simulate(profile, cfg, opts);
+            SCOPED_TRACE(std::string(name) + " on " + cfg.name);
+            expectSameStats(streamed, traced);
+        }
+    }
+}
+
+TEST(TraceReplayDeathTest, MismatchedTraceIsFatal)
+{
+    SimOptions opts;
+    opts.measureInstrs = 1000;
+    opts.trace = sharedTrace(profileByName("gzip"), opts.streamId,
+                             opts.traceOps());
+    EXPECT_EXIT(simulate(profileByName("gcc"), CoreConfig::initial(),
+                         opts),
+                testing::ExitedWithCode(1), "trace");
+}
+
+// Exact per-workload statistics of the whole suite on the initial
+// configuration (captured from the pre-optimization scan-based core).
+// Any scheduler or trace change that shifts timing by even one cycle
+// trips this; both evaluation paths must reproduce it.
+TEST(GoldenStats, SuiteOnInitialConfigIsFrozen)
+{
+    struct Golden
+    {
+        const char *name;
+        uint64_t instructions, cycles, loads, stores, l1Hits,
+            l1Misses, l2Hits, l2Misses, condBranches, mispredicts,
+            robOccupancySum;
+    };
+    static const Golden kGolden[] = {
+        {"bzip", 30000u, 105499u, 7327u, 2968u, 4806u, 2461u, 1566u,
+         895u, 3905u, 418u, 6778123u},
+        {"crafty", 30000u, 41883u, 9058u, 2142u, 7592u, 1259u, 972u,
+         287u, 2663u, 236u, 3775699u},
+        {"gap", 30000u, 63342u, 7124u, 2751u, 4947u, 2050u, 1561u,
+         489u, 3296u, 331u, 5162507u},
+        {"gcc", 30000u, 104600u, 7946u, 3724u, 4535u, 3324u, 2361u,
+         963u, 3747u, 687u, 6307303u},
+        {"gzip", 30000u, 63542u, 6831u, 2747u, 5174u, 1597u, 1232u,
+         365u, 4218u, 521u, 3833252u},
+        {"mcf", 30000u, 342654u, 9250u, 2710u, 2981u, 6249u, 2790u,
+         3459u, 5620u, 703u, 15528814u},
+        {"parser", 30000u, 108990u, 8093u, 2686u, 5445u, 2565u, 1819u,
+         746u, 4880u, 890u, 5240079u},
+        {"perl", 30000u, 43757u, 8043u, 3174u, 6848u, 948u, 761u,
+         187u, 3938u, 470u, 2931215u},
+        {"twolf", 30000u, 162728u, 8367u, 2496u, 4410u, 3910u, 2564u,
+         1346u, 4254u, 848u, 7670343u},
+        {"vortex", 30000u, 64050u, 8132u, 4445u, 5772u, 2154u, 1709u,
+         445u, 3698u, 395u, 4732744u},
+        {"vpr", 30000u, 108312u, 8484u, 2679u, 5653u, 2785u, 2066u,
+         719u, 4018u, 642u, 5824367u},
+    };
+    const CoreConfig cfg = CoreConfig::initial();
+    for (const Golden &g : kGolden) {
+        const WorkloadProfile &profile = profileByName(g.name);
+        SimOptions opts;
+        opts.measureInstrs = 30000;
+        for (bool traced : {false, true}) {
+            opts.trace = traced ? sharedTrace(profile, opts.streamId,
+                                              opts.traceOps())
+                                : nullptr;
+            const SimStats s = simulate(profile, cfg, opts);
+            SCOPED_TRACE(std::string(g.name) +
+                         (traced ? " (traced)" : " (streaming)"));
+            EXPECT_EQ(s.instructions, g.instructions);
+            EXPECT_EQ(s.cycles, g.cycles);
+            EXPECT_EQ(s.loads, g.loads);
+            EXPECT_EQ(s.stores, g.stores);
+            EXPECT_EQ(s.l1Hits, g.l1Hits);
+            EXPECT_EQ(s.l1Misses, g.l1Misses);
+            EXPECT_EQ(s.l2Hits, g.l2Hits);
+            EXPECT_EQ(s.l2Misses, g.l2Misses);
+            EXPECT_EQ(s.condBranches, g.condBranches);
+            EXPECT_EQ(s.mispredicts, g.mispredicts);
+            EXPECT_EQ(s.robOccupancySum, g.robOccupancySum);
+        }
+    }
 }
 
 // Parameterized sweep: every suite workload simulates cleanly on a

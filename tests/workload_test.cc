@@ -19,6 +19,7 @@
 #include "workload/generator.hh"
 #include "workload/micro_op.hh"
 #include "workload/profile.hh"
+#include "workload/trace.hh"
 
 using namespace xps;
 
@@ -433,6 +434,66 @@ TEST(Characteristics, BzipGzipEuclideanNeighbours)
         }
     }
     EXPECT_EQ(nearest, bzip);
+}
+
+// --- shared trace cache ---------------------------------------------------
+
+TEST(Trace, TwoBuffersForSameWorkloadAreEqual)
+{
+    const WorkloadProfile &profile = profileByName("gzip");
+    const TraceBuffer a(profile, 0, 5000);
+    const TraceBuffer b(profile, 0, 5000);
+    EXPECT_TRUE(a == b);
+    const TraceBuffer other_stream(profile, 1, 5000);
+    EXPECT_TRUE(a != other_stream);
+    const TraceBuffer other_profile(profileByName("gcc"), 0, 5000);
+    EXPECT_TRUE(a != other_profile);
+}
+
+TEST(Trace, CursorReplaysGeneratorStream)
+{
+    const WorkloadProfile &profile = profileByName("vpr");
+    const TraceBuffer buffer(profile, 0, 3000);
+    auto shared =
+        std::make_shared<const TraceBuffer>(profile, 0, 3000);
+    TraceCursor cursor(std::move(shared));
+    SyntheticWorkload gen(profile, 0);
+    for (int i = 0; i < 3000; ++i) {
+        const MicroOp &replayed = cursor.next();
+        const MicroOp generated = gen.next();
+        ASSERT_TRUE(replayed == generated) << "op " << i;
+    }
+    EXPECT_EQ(cursor.generated(), 3000u);
+}
+
+TEST(Trace, RegistryMemoizesAndGrowsMonotonically)
+{
+    clearTraceRegistry();
+    const WorkloadProfile &profile = profileByName("mcf");
+    const auto small = sharedTrace(profile, 0, 1000);
+    ASSERT_GE(small->size(), 1000u + kTraceSlackOps);
+    // Same request → the same buffer, not a copy.
+    EXPECT_EQ(sharedTrace(profile, 0, 1000).get(), small.get());
+    // A longer request grows the trace; the old handle stays valid
+    // and remains a prefix of the new buffer.
+    const auto big = sharedTrace(profile, 0, 50000);
+    ASSERT_GE(big->size(), 50000u + kTraceSlackOps);
+    for (size_t i = 0; i < small->size(); ++i) {
+        ASSERT_TRUE(small->ops()[i] == big->ops()[i])
+            << "prefix diverged at op " << i;
+    }
+    clearTraceRegistry();
+}
+
+TEST(Trace, FingerprintSeparatesProfilesAndFollowsChanges)
+{
+    const uint64_t gcc = profileFingerprint(profileByName("gcc"));
+    const uint64_t gzip = profileFingerprint(profileByName("gzip"));
+    EXPECT_NE(gcc, gzip);
+    WorkloadProfile tweaked = profileByName("gcc");
+    EXPECT_EQ(profileFingerprint(tweaked), gcc);
+    tweaked.meanDepDistance += 0.125;
+    EXPECT_NE(profileFingerprint(tweaked), gcc);
 }
 
 TEST(MicroOp, ClassPredicates)
