@@ -19,6 +19,7 @@
 #include "explore/search_space.hh"
 #include "sim/simulator.hh"
 #include "timing/unit_timing.hh"
+#include "util/metrics.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 #include "workload/trace.hh"
@@ -197,7 +198,11 @@ main(int argc, char **argv)
                  "\"note\": \"streaming simulate() before this PR, "
                  "same host/settings\", \"gcc_ms\": 23.58, "
                  "\"gzip_ms\": 18.17, \"mcf_ms\": 63.12, "
-                 "\"twolf_ms\": 30.17}\n");
+                 "\"twolf_ms\": 30.17},\n");
+    // Runtime metrics accumulated across everything above (trace
+    // cache hit rates, annealer accept/reject counts, phase timers).
+    std::fprintf(f, "  \"metrics\": %s\n",
+                 Metrics::global().toJson().c_str());
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote %s\n", out.c_str());

@@ -6,6 +6,13 @@
  * cached as CSV under $XPS_RESULTS_DIR (default ./results), so that
  * every bench binary can be run independently, in any order, and the
  * whole suite costs one exploration (DESIGN.md §5.5).
+ *
+ * The cache files carry identity manifests (DESIGN.md §7): a cache
+ * written under different budget knobs or different workload
+ * profiles, or torn by a crash, is rejected and recomputed — never
+ * silently reused. Long recomputations are themselves crash-safe:
+ * the exploration checkpoints per workload (XPS_CHECKPOINT_EVERY)
+ * and the matrix build resumes per cell.
  */
 
 #ifndef XPS_COMM_EXPERIMENTS_HH
@@ -16,6 +23,7 @@
 
 #include "comm/perf_matrix.hh"
 #include "sim/config.hh"
+#include "util/csv.hh"
 #include "workload/profile.hh"
 
 namespace xps
@@ -41,6 +49,29 @@ const ExperimentContext &experimentContext();
 /** Paths of the cache files under the current results dir. */
 std::string table4CachePath();
 std::string table5CachePath();
+
+/** Identity manifests the caches are validated against: the Budget
+ *  knobs that shape the result plus every profile's fingerprint (and,
+ *  for Table 5, every configuration's fingerprint). A change in any
+ *  of them makes the cached file stale. */
+CsvManifest table4Manifest(const std::vector<WorkloadProfile> &suite);
+CsvManifest table5Manifest(const std::vector<WorkloadProfile> &suite,
+                           const std::vector<CoreConfig> &configs);
+
+/** Validated cache accessors (used by experimentContext(); exposed
+ *  for the robustness tests). The loaders return false — and leave
+ *  the output untouched semantically — on a missing, stale, torn or
+ *  corrupt cache file. */
+bool loadTable4Cache(const std::vector<WorkloadProfile> &suite,
+                     std::vector<CoreConfig> &configs);
+void storeTable4Cache(const std::vector<WorkloadProfile> &suite,
+                      const std::vector<CoreConfig> &configs);
+bool loadTable5Cache(const std::vector<WorkloadProfile> &suite,
+                     const std::vector<CoreConfig> &configs,
+                     PerfMatrix &matrix);
+void storeTable5Cache(const std::vector<WorkloadProfile> &suite,
+                      const std::vector<CoreConfig> &configs,
+                      const PerfMatrix &matrix);
 
 } // namespace xps
 

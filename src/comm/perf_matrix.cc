@@ -1,17 +1,118 @@
 #include "comm/perf_matrix.hh"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <mutex>
+#include <sstream>
 #include <thread>
 
+#include "explore/checkpoint.hh"
 #include "sim/simulator.hh"
+#include "util/atomic_file.hh"
+#include "util/csv.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "util/table.hh"
 #include "workload/trace.hh"
 
 namespace xps
 {
+
+namespace
+{
+
+constexpr const char *kPartialMagic = "xps-matrix-partial v1";
+
+} // namespace
+
+CsvManifest
+PerfMatrix::partialIdentity(const std::vector<WorkloadProfile> &suite,
+                            const std::vector<CoreConfig> &configs,
+                            uint64_t instrs)
+{
+    CsvManifest m;
+    m.set("kind", std::string("perf-matrix-partial"));
+    m.set("schema", std::string("1"));
+    m.set("instrs", instrs);
+    m.set("n", static_cast<uint64_t>(suite.size()));
+    std::ostringstream ids;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%016llx:%016llx",
+                      static_cast<unsigned long long>(
+                          profileFingerprint(suite[i])),
+                      static_cast<unsigned long long>(
+                          configFingerprint(configs[i])));
+        ids << (i ? ";" : "") << suite[i].name << ':' << buf;
+    }
+    m.set("identity", ids.str());
+    return m;
+}
+
+namespace
+{
+
+/**
+ * Load the finished cells of a partial matrix file. Returns the
+ * number of cells recovered; 0 (with `fresh` = true) when the file is
+ * absent, carries a foreign manifest, or is corrupted beyond its
+ * header — the caller then rewrites it from scratch. A torn tail line
+ * (the crash interrupted an append) only drops that line.
+ */
+size_t
+loadPartialMatrix(const std::string &path, const CsvManifest &identity,
+                  std::vector<std::vector<double>> &ipt,
+                  std::vector<std::vector<bool>> &have, bool &fresh)
+{
+    fresh = true;
+    std::string content;
+    if (!readFile(path, content))
+        return 0;
+    std::istringstream in(content);
+    std::string line;
+    if (!std::getline(in, line) || line != kPartialMagic)
+        return 0;
+    CsvManifest found;
+    while (std::getline(in, line)) {
+        if (line == "endm")
+            break;
+        if (line.rfind("m ", 0) != 0)
+            return 0;
+        const size_t eq = line.find('=', 2);
+        if (eq == std::string::npos)
+            return 0;
+        found.entries.emplace_back(line.substr(2, eq - 2),
+                                   line.substr(eq + 1));
+    }
+    if (!(found == identity))
+        return 0;
+    fresh = false;
+    const size_t n = ipt.size();
+    size_t cells = 0;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string tag, value;
+        size_t w = 0, c = 0;
+        if (!(fields >> tag >> w >> c >> value) ||
+            tag != "cell" || w >= n || c >= n) {
+            break; // torn tail: ignore this line and everything after
+        }
+        double v = 0.0;
+        if (!parseHexDouble(value, v))
+            break;
+        if (!have[w][c]) {
+            ipt[w][c] = v;
+            have[w][c] = true;
+            ++cells;
+        }
+    }
+    return cells;
+}
+
+} // namespace
 
 PerfMatrix::PerfMatrix(std::vector<std::string> names,
                        std::vector<std::vector<double>> ipt)
@@ -29,7 +130,8 @@ PerfMatrix::PerfMatrix(std::vector<std::string> names,
 PerfMatrix
 PerfMatrix::build(const std::vector<WorkloadProfile> &suite,
                   const std::vector<CoreConfig> &configs,
-                  uint64_t instrs, int threads)
+                  uint64_t instrs, int threads,
+                  const std::string &partialPath)
 {
     if (suite.size() != configs.size())
         fatal("PerfMatrix::build: %zu workloads vs %zu configs",
@@ -39,6 +141,44 @@ PerfMatrix::build(const std::vector<WorkloadProfile> &suite,
     names.reserve(n);
     for (const auto &p : suite)
         names.push_back(p.name);
+
+    std::vector<std::vector<double>> ipt(n, std::vector<double>(n, 0.0));
+    std::vector<std::vector<bool>> have(n, std::vector<bool>(n, false));
+
+    // Per-cell crash safety: recover cells from the partial file (if
+    // its identity matches this build), then append every cell we
+    // compute. Cells are independent evaluations, so the merged
+    // matrix is bit-identical to an uninterrupted build.
+    Metrics &metrics = Metrics::global();
+    FILE *partial = nullptr;
+    std::mutex partial_mutex;
+    if (!partialPath.empty()) {
+        const CsvManifest identity =
+            partialIdentity(suite, configs, instrs);
+        bool fresh = true;
+        const size_t recovered =
+            loadPartialMatrix(partialPath, identity, ipt, have, fresh);
+        if (recovered > 0) {
+            inform("resuming matrix build from %s (%zu/%zu cells)",
+                   partialPath.c_str(), recovered, n * n);
+            metrics.counter("perf_matrix.cells_resumed")
+                .add(recovered);
+        }
+        if (fresh) {
+            // Absent, stale or corrupt: (re)write the header
+            // atomically, then append below.
+            std::ostringstream header;
+            header << kPartialMagic << '\n';
+            for (const auto &[key, value] : identity.entries)
+                header << "m " << key << '=' << value << '\n';
+            header << "endm\n";
+            atomicWriteFile(partialPath, header.str());
+        }
+        partial = std::fopen(partialPath.c_str(), "a");
+        if (!partial)
+            fatal("PerfMatrix::build: cannot append to %s",
+                  partialPath.c_str());
+    }
 
     // One immutable trace per workload, generated up front and shared
     // read-only by every worker: row w's n evaluations replay the same
@@ -51,16 +191,27 @@ PerfMatrix::build(const std::vector<WorkloadProfile> &suite,
         traces.push_back(sharedTrace(p, proto.streamId,
                                      proto.traceOps()));
 
-    std::vector<std::vector<double>> ipt(n, std::vector<double>(n, 0.0));
     std::atomic<size_t> next{0};
     auto worker = [&]() {
         for (size_t idx = next.fetch_add(1); idx < n * n;
              idx = next.fetch_add(1)) {
             const size_t w = idx / n;
             const size_t c = idx % n;
+            if (have[w][c])
+                continue;
             SimOptions opts = proto;
             opts.trace = traces[w];
             ipt[w][c] = simulate(suite[w], configs[c], opts).ipt();
+            metrics.counter("perf_matrix.cells_computed").add();
+            if (partial) {
+                // One line per cell, serialized and flushed: a crash
+                // loses at most the torn tail line, which the next
+                // run recomputes.
+                std::lock_guard<std::mutex> lock(partial_mutex);
+                std::fprintf(partial, "cell %zu %zu %s\n", w, c,
+                             formatHexDouble(ipt[w][c]).c_str());
+                std::fflush(partial);
+            }
         }
     };
     std::vector<std::thread> pool;
@@ -71,6 +222,11 @@ PerfMatrix::build(const std::vector<WorkloadProfile> &suite,
     for (auto &t : pool)
         t.join();
 
+    if (partial) {
+        std::fclose(partial);
+        std::error_code ec;
+        std::filesystem::remove(partialPath, ec);
+    }
     return PerfMatrix(std::move(names), std::move(ipt));
 }
 

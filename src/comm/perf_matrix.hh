@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "util/csv.hh"
 #include "workload/profile.hh"
 
 namespace xps
@@ -38,10 +39,19 @@ class PerfMatrix
      * @param instrs instructions per evaluation
      * @param threads worker threads (<=0: resolveThreads() — i.e.
      *        XPS_THREADS, else the hardware concurrency)
+     * @param partialPath when non-empty, the build is crash-safe
+     *        (DESIGN.md §7): every finished cell is appended to this
+     *        file, a restarted build resumes from the cells already
+     *        present (bit-identical — every cell is independent), and
+     *        the file is removed once the matrix is complete. A
+     *        partial file whose identity manifest does not match
+     *        (different suite, configs or budget) or whose tail is
+     *        torn mid-line is discarded / truncated, never half-used.
      */
     static PerfMatrix build(const std::vector<WorkloadProfile> &suite,
                             const std::vector<CoreConfig> &configs,
-                            uint64_t instrs, int threads = 0);
+                            uint64_t instrs, int threads = 0,
+                            const std::string &partialPath = "");
 
     /** Construct from precomputed values (row-major). */
     PerfMatrix(std::vector<std::string> names,
@@ -67,6 +77,13 @@ class PerfMatrix
      *  of columns; fatal on empty subset. */
     size_t bestConfigFor(size_t w,
                          const std::vector<size_t> &columns) const;
+
+    /** Identity manifest embedded in the partial (crash-resume) file
+     *  of a build over these inputs — exposed for the robustness
+     *  tests, which craft stale/torn partial files against it. */
+    static CsvManifest partialIdentity(
+        const std::vector<WorkloadProfile> &suite,
+        const std::vector<CoreConfig> &configs, uint64_t instrs);
 
     /** Serialize / deserialize for result caching. */
     std::vector<std::vector<std::string>> toCsvRows() const;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace xps
 {
@@ -21,62 +22,117 @@ Annealer::Annealer(const SearchSpace &space, Objective objective,
     }
 }
 
-AnnealResult
-Annealer::run(const CoreConfig &start) const
+AnnealerState
+Annealer::begin(const CoreConfig &start) const
 {
-    Rng rng(params_.seed);
+    AnnealerState state;
+    state.iteration = 0;
+    state.temp = params_.initialTemp;
+    state.rng = Rng(params_.seed).state();
+    state.current = start;
+    state.currentScore = objective_(start);
+    state.result.best = start;
+    state.result.bestScore = state.currentScore;
+    state.result.evaluations = 1;
+    state.result.improvementTrace.emplace_back(0, state.currentScore);
+    return state;
+}
 
-    AnnealResult result;
-    CoreConfig current = start;
-    double cur_score = objective_(current);
-    ++result.evaluations;
-    result.best = current;
-    result.bestScore = cur_score;
-    result.improvementTrace.emplace_back(0, cur_score);
+void
+Annealer::resume(AnnealerState &state, uint64_t checkpointEvery,
+                 const CheckpointHook &hook) const
+{
+    if (state.iteration > params_.iterations)
+        fatal("Annealer::resume: state is past the schedule "
+              "(%llu > %llu iterations)",
+              static_cast<unsigned long long>(state.iteration),
+              static_cast<unsigned long long>(params_.iterations));
+
+    Metrics &metrics = Metrics::global();
+    Counter &ctr_accepts = metrics.counter("anneal.accepts");
+    Counter &ctr_rejects = metrics.counter("anneal.rejects");
+    Counter &ctr_rollbacks = metrics.counter("anneal.rollbacks");
+    Counter &ctr_evals = metrics.counter("anneal.evaluations");
+
+    Rng rng(0);
+    rng.setState(state.rng);
+    CoreConfig current = state.current;
+    double cur_score = state.currentScore;
+    AnnealResult &result = state.result;
 
     const double cooling =
         std::pow(params_.finalTemp / params_.initialTemp,
                  1.0 / static_cast<double>(params_.iterations));
-    double temp = params_.initialTemp;
+    double temp = state.temp;
 
-    for (uint64_t iter = 1; iter <= params_.iterations; ++iter) {
+    auto sync = [&](uint64_t iter) {
+        state.iteration = iter;
+        state.temp = temp;
+        state.rng = rng.state();
+        state.current = current;
+        state.currentScore = cur_score;
+    };
+
+    for (uint64_t iter = state.iteration + 1;
+         iter <= params_.iterations; ++iter) {
         temp *= cooling;
 
         CoreConfig cand;
         bool have = false;
         for (int attempt = 0; attempt < 16 && !have; ++attempt)
             have = space_.neighbor(current, rng, cand);
-        if (!have)
-            continue; // stuck corner; cool and retry next iteration
+        if (have) {
+            const double cand_score = objective_(cand);
+            ++result.evaluations;
+            ctr_evals.add();
 
-        const double cand_score = objective_(cand);
-        ++result.evaluations;
+            // Metropolis acceptance on the relative change.
+            const double rel = cur_score > 0.0 ?
+                (cand_score - cur_score) / cur_score : 1.0;
+            const bool accept =
+                rel >= 0.0 || rng.uniform() < std::exp(rel / temp);
+            if (accept) {
+                current = cand;
+                cur_score = cand_score;
+                ++result.accepted;
+                ctr_accepts.add();
+            } else {
+                ctr_rejects.add();
+            }
 
-        // Metropolis acceptance on the relative change.
-        const double rel = cur_score > 0.0 ?
-            (cand_score - cur_score) / cur_score : 1.0;
-        const bool accept =
-            rel >= 0.0 || rng.uniform() < std::exp(rel / temp);
-        if (accept) {
-            current = cand;
-            cur_score = cand_score;
-            ++result.accepted;
+            if (cur_score > result.bestScore) {
+                result.best = current;
+                result.bestScore = cur_score;
+                result.improvementTrace.emplace_back(iter, cur_score);
+            }
+
+            // The paper's rollback rule: a walk that has fallen below
+            // half the incumbent is abandoned.
+            if (cur_score <
+                params_.rollbackFraction * result.bestScore) {
+                current = result.best;
+                cur_score = result.bestScore;
+                ctr_rollbacks.add();
+            }
         }
+        // else: stuck corner; cool and retry next iteration
 
-        if (cur_score > result.bestScore) {
-            result.best = current;
-            result.bestScore = cur_score;
-            result.improvementTrace.emplace_back(iter, cur_score);
-        }
-
-        // The paper's rollback rule: a walk that has fallen below
-        // half the incumbent is abandoned.
-        if (cur_score < params_.rollbackFraction * result.bestScore) {
-            current = result.best;
-            cur_score = result.bestScore;
+        if (checkpointEvery > 0 && hook &&
+            (iter % checkpointEvery == 0 ||
+             iter == params_.iterations)) {
+            sync(iter);
+            hook(state);
         }
     }
-    return result;
+    sync(params_.iterations);
+}
+
+AnnealResult
+Annealer::run(const CoreConfig &start) const
+{
+    AnnealerState state = begin(start);
+    resume(state);
+    return std::move(state.result);
 }
 
 } // namespace xps

@@ -4,11 +4,17 @@
  * maximizing IPT, with the paper's rollback rule: whenever the
  * current configuration's IPT drops below half of the incumbent
  * best's, the walk returns to the incumbent (§3).
+ *
+ * The walk's full state (incumbent, current point, iteration,
+ * temperature, RNG words) is exposed as a serializable AnnealerState
+ * so long explorations can checkpoint and later resume bit-identically
+ * to an uninterrupted run (DESIGN.md §7).
  */
 
 #ifndef XPS_EXPLORE_ANNEALER_HH
 #define XPS_EXPLORE_ANNEALER_HH
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <vector>
@@ -46,6 +52,21 @@ struct AnnealResult
 };
 
 /**
+ * The complete walk state after `iteration` completed steps.
+ * Restoring it (same space, objective and params) and resuming
+ * continues the exact draw-for-draw trajectory of the original run.
+ */
+struct AnnealerState
+{
+    uint64_t iteration = 0; ///< completed iterations
+    double temp = 0.0;      ///< temperature after `iteration` steps
+    CoreConfig current;
+    double currentScore = 0.0;
+    std::array<uint64_t, 4> rng{}; ///< xoshiro256** words
+    AnnealResult result;           ///< incumbent + counters so far
+};
+
+/**
  * The annealer. The objective is abstract (the Explorer plugs in
  * cached IPT simulation) so tests can use analytic objectives.
  */
@@ -53,12 +74,35 @@ class Annealer
 {
   public:
     using Objective = std::function<double(const CoreConfig &)>;
+    /** Invoked with a consistent snapshot every `checkpointEvery`
+     *  iterations during resume(). */
+    using CheckpointHook = std::function<void(const AnnealerState &)>;
 
     Annealer(const SearchSpace &space, Objective objective,
              AnnealParams params);
 
-    /** Run from a starting configuration. */
+    /** Run from a starting configuration (begin + resume). */
     AnnealResult run(const CoreConfig &start) const;
+
+    /** Evaluate `start` and package the iteration-zero state. */
+    AnnealerState begin(const CoreConfig &start) const;
+
+    /**
+     * Advance `state` to completion. With `checkpointEvery` > 0 the
+     * hook fires after every such number of completed iterations (and
+     * once more at completion, so the final state is always offered).
+     */
+    void resume(AnnealerState &state, uint64_t checkpointEvery = 0,
+                const CheckpointHook &hook = nullptr) const;
+
+    /** True once `state` has completed the full schedule. */
+    bool
+    done(const AnnealerState &state) const
+    {
+        return state.iteration >= params_.iterations;
+    }
+
+    const AnnealParams &params() const { return params_; }
 
   private:
     const SearchSpace &space_;

@@ -1,13 +1,18 @@
 #include "explore/explorer.hh"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
 #include <utility>
 
+#include "util/atomic_file.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "workload/trace.hh"
 
 namespace xps
@@ -30,6 +35,12 @@ archKey(const CoreConfig &cfg)
     return key.str();
 }
 
+std::vector<std::pair<std::string, double>>
+memoToVector(const std::unordered_map<std::string, double> &memo)
+{
+    return {memo.begin(), memo.end()};
+}
+
 } // namespace
 
 Explorer::Explorer(std::vector<WorkloadProfile> suite,
@@ -42,6 +53,8 @@ Explorer::Explorer(std::vector<WorkloadProfile> suite,
     if (opts_.rounds < 1)
         fatal("Explorer: bad options");
     opts_.threads = resolveThreads(opts_.threads);
+    if (opts_.checkpointEvery > 0 && opts_.checkpointDir.empty())
+        opts_.checkpointDir = Budget::get().resultsDir + "/checkpoints";
 }
 
 double
@@ -55,10 +68,70 @@ Explorer::evaluate(const WorkloadProfile &profile,
     return simulate(profile, config, opts).ipt();
 }
 
+CsvManifest
+Explorer::checkpointIdentity() const
+{
+    CsvManifest m;
+    m.set("schema", std::string("1"));
+    m.set("eval_instrs", opts_.evalInstrs);
+    m.set("sa_iters", opts_.saIters);
+    m.set("rounds", static_cast<uint64_t>(opts_.rounds));
+    m.set("seed", opts_.seed);
+    m.set("final_eval_instrs", opts_.finalEvalInstrs);
+    m.set("adoption_margin", formatHexDouble(opts_.adoptionMargin));
+    m.set("gross_adoption_margin",
+          formatHexDouble(opts_.grossAdoptionMargin));
+    const AnnealParams anneal; // schedule shape is part of identity
+    m.set("anneal_initial_temp", formatHexDouble(anneal.initialTemp));
+    m.set("anneal_final_temp", formatHexDouble(anneal.finalTemp));
+    m.set("anneal_rollback", formatHexDouble(anneal.rollbackFraction));
+    const ExploreBounds &b = space_.bounds();
+    std::ostringstream bounds;
+    bounds << formatHexDouble(b.minClockNs) << ';'
+           << formatHexDouble(b.maxClockNs) << ';'
+           << b.maxL1CapacityBytes << ';' << b.maxL2CapacityBytes
+           << ';' << b.maxSchedDepth << ';' << b.maxLsqDepth << ';'
+           << b.maxL1Cycles << ';' << b.maxL2Cycles;
+    m.set("bounds", bounds.str());
+    std::ostringstream profiles;
+    for (size_t w = 0; w < suite_.size(); ++w) {
+        char fp[32];
+        std::snprintf(fp, sizeof(fp), "%016llx",
+                      static_cast<unsigned long long>(
+                          profileFingerprint(suite_[w])));
+        profiles << (w ? ";" : "") << suite_[w].name << ':' << fp;
+    }
+    m.set("profiles", profiles.str());
+    return m;
+}
+
+std::string
+Explorer::workloadCheckpointPath(size_t w) const
+{
+    return opts_.checkpointDir + "/" + suite_[w].name + ".ckpt";
+}
+
+std::string
+Explorer::suiteCheckpointPath() const
+{
+    return opts_.checkpointDir + "/suite.ckpt";
+}
+
 std::vector<WorkloadResult>
 Explorer::exploreAll()
 {
     const size_t n = suite_.size();
+    const bool ckpt = opts_.checkpointEvery > 0;
+    const CsvManifest identity = ckpt ? checkpointIdentity()
+                                      : CsvManifest{};
+    Metrics &metrics = Metrics::global();
+    const auto wall_start = std::chrono::steady_clock::now();
+    auto elapsed_s = [&] {
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - wall_start;
+        return dt.count();
+    };
+
     std::vector<WorkloadResult> results(n);
     std::vector<CoreConfig> current(n, space_.initialConfig());
     std::vector<double> current_ipt(n, 0.0);
@@ -68,19 +141,83 @@ Explorer::exploreAll()
     std::vector<std::atomic<uint64_t>> evals(n);
     for (auto &e : evals)
         e.store(0);
+    std::vector<uint64_t> adoptions(n, 0);
 
     const uint64_t iters_per_round =
         std::max<uint64_t>(1, opts_.saIters /
                               static_cast<uint64_t>(opts_.rounds));
 
+    // --- resume the round-barrier state ------------------------------------
+    int start_round = 0;
+    SuiteCheckpoint::Phase phase = SuiteCheckpoint::Phase::Anneal;
+    uint64_t adopt_index = 0;
+    std::vector<double> final_ipt(n, 0.0);
+    bool have_final_ipt = false;
+    if (ckpt) {
+        std::string content;
+        SuiteCheckpoint sc;
+        if (readFile(suiteCheckpointPath(), content)) {
+            if (parseSuiteCheckpoint(content, identity, sc) &&
+                sc.workloads.size() == n) {
+                for (size_t w = 0; w < n; ++w) {
+                    current[w] = sc.workloads[w].current;
+                    current_ipt[w] = sc.workloads[w].currentIpt;
+                    evals[w].store(sc.workloads[w].evals);
+                    adoptions[w] = sc.workloads[w].adoptions;
+                    memo[w].insert(sc.workloads[w].memo.begin(),
+                                   sc.workloads[w].memo.end());
+                }
+                start_round = sc.round;
+                phase = sc.phase;
+                adopt_index = sc.adoptIndex;
+                if (phase != SuiteCheckpoint::Phase::Anneal) {
+                    final_ipt = sc.finalIpt;
+                    have_final_ipt = final_ipt.size() == n;
+                }
+                metrics.counter("checkpoint.suite_resumes").add();
+                inform("resuming exploration from %s (round %d/%d)",
+                       suiteCheckpointPath().c_str(), start_round,
+                       opts_.rounds);
+            } else {
+                warn("ignoring stale or corrupt checkpoint %s",
+                     suiteCheckpointPath().c_str());
+                metrics.counter("checkpoint.rejected").add();
+            }
+        }
+    }
+
+    auto write_suite_ckpt = [&](int round, SuiteCheckpoint::Phase ph,
+                                uint64_t adopt_idx) {
+        if (!ckpt)
+            return;
+        SuiteCheckpoint sc;
+        sc.round = round;
+        sc.phase = ph;
+        sc.adoptIndex = adopt_idx;
+        if (ph != SuiteCheckpoint::Phase::Anneal)
+            sc.finalIpt = final_ipt;
+        sc.workloads.resize(n);
+        for (size_t w = 0; w < n; ++w) {
+            sc.workloads[w].current = current[w];
+            sc.workloads[w].currentIpt = current_ipt[w];
+            sc.workloads[w].evals = evals[w].load();
+            sc.workloads[w].adoptions = adoptions[w];
+            sc.workloads[w].memo = memoToVector(memo[w]);
+        }
+        atomicWriteFile(suiteCheckpointPath(),
+                        serializeSuiteCheckpoint(sc, identity));
+        metrics.counter("checkpoint.writes").add();
+        if (opts_.checkpointWrittenHook)
+            opts_.checkpointWrittenHook(suiteCheckpointPath());
+    };
+
     // Materialize each workload's stream once; the annealing inner
     // loop then replays the shared buffer for every candidate
     // configuration instead of regenerating it per evaluation.
     // (Evaluations run with the default warmup: measure + warmup =
-    // 2 * evalInstrs ops.)
+    // 2 * evalInstrs ops.) Deferred until annealing actually runs so
+    // a resume straight into the final phase skips the cost.
     std::vector<std::shared_ptr<const TraceBuffer>> traces(n);
-    for (size_t w = 0; w < n; ++w)
-        traces[w] = sharedTrace(suite_[w], 0, 2 * opts_.evalInstrs);
 
     auto cached_eval = [&](size_t w, const CoreConfig &cfg) {
         auto &m = memo[w];
@@ -95,65 +232,152 @@ Explorer::exploreAll()
         return ipt;
     };
 
-    for (int round = 0; round < opts_.rounds; ++round) {
-        std::atomic<size_t> next{0};
-        auto worker = [&]() {
-            for (size_t w = next.fetch_add(1); w < n;
-                 w = next.fetch_add(1)) {
-                AnnealParams params;
-                params.iterations = iters_per_round;
-                params.seed = opts_.seed * 0x9e3779b97f4a7c15ULL +
-                              w * 1315423911ULL +
-                              static_cast<uint64_t>(round);
-                Annealer annealer(
-                    space_,
-                    [&, w](const CoreConfig &cfg) {
-                        return cached_eval(w, cfg);
-                    },
-                    params);
-                const AnnealResult res = annealer.run(current[w]);
-                current[w] = res.best;
-                current_ipt[w] = res.bestScore;
-                verbose("explore[%s] round %d: best IPT %.3f (%s)",
-                        suite_[w].name.c_str(), round, res.bestScore,
-                        res.best.summary().c_str());
-            }
-        };
-        std::vector<std::thread> pool;
-        const int nthreads =
-            std::min<int>(opts_.threads, static_cast<int>(n));
-        pool.reserve(static_cast<size_t>(nthreads));
-        for (int t = 0; t < nthreads; ++t)
-            pool.emplace_back(worker);
-        for (auto &t : pool)
-            t.join();
+    const bool anneal_rounds_remain =
+        phase == SuiteCheckpoint::Phase::Anneal &&
+        start_round < opts_.rounds;
+    if (anneal_rounds_remain) {
+        for (size_t w = 0; w < n; ++w)
+            traces[w] = sharedTrace(suite_[w], 0, 2 * opts_.evalInstrs);
+    }
 
-        // Cross-adoption (§4.1) *between* rounds: a workload that
-        // performs clearly better on another workload's incumbent
-        // takes it as its own and keeps annealing from there in the
-        // next round, exactly as in the paper — so adopted
-        // configurations re-specialize instead of collapsing the
-        // suite onto a few shared architectures. No adoption after
-        // the final round.
-        if (round < opts_.rounds - 1) {
-            for (size_t w = 0; w < n; ++w) {
-                for (size_t other = 0; other < n; ++other) {
-                    if (other == w)
-                        continue;
-                    if (current[other].sameArch(current[w]))
-                        continue;
-                    const double ipt =
-                        cached_eval(w, current[other]);
-                    if (ipt > current_ipt[w] *
-                                  (1.0 + opts_.adoptionMargin)) {
-                        current[w] = current[other];
-                        current_ipt[w] = ipt;
-                        ++results[w].adoptions;
+    if (anneal_rounds_remain) {
+        ScopedTimer timer("explore.anneal_seconds");
+        for (int round = start_round; round < opts_.rounds; ++round) {
+            std::atomic<size_t> next{0};
+            std::atomic<size_t> done_count{0};
+            auto worker = [&]() {
+                for (size_t w = next.fetch_add(1); w < n;
+                     w = next.fetch_add(1)) {
+                    AnnealParams params;
+                    params.iterations = iters_per_round;
+                    params.seed = opts_.seed * 0x9e3779b97f4a7c15ULL +
+                                  w * 1315423911ULL +
+                                  static_cast<uint64_t>(round);
+                    Annealer annealer(
+                        space_,
+                        [&, w](const CoreConfig &cfg) {
+                            return cached_eval(w, cfg);
+                        },
+                        params);
+
+                    AnnealerState st;
+                    bool resumed = false;
+                    if (ckpt) {
+                        std::string content;
+                        WorkloadCheckpoint wc;
+                        if (readFile(workloadCheckpointPath(w),
+                                     content) &&
+                            parseWorkloadCheckpoint(content, identity,
+                                                    wc) &&
+                            wc.round == round) {
+                            st = std::move(wc.anneal);
+                            memo[w].clear();
+                            memo[w].insert(wc.memo.begin(),
+                                           wc.memo.end());
+                            evals[w].store(wc.evals);
+                            adoptions[w] = wc.adoptions;
+                            resumed = true;
+                            metrics.counter(
+                                "checkpoint.workload_resumes").add();
+                            verbose("explore[%s] resuming round %d at "
+                                    "iteration %llu",
+                                    suite_[w].name.c_str(), round,
+                                    static_cast<unsigned long long>(
+                                        st.iteration));
+                        }
+                    }
+                    if (!resumed)
+                        st = annealer.begin(current[w]);
+
+                    Annealer::CheckpointHook hook;
+                    if (ckpt) {
+                        hook = [&, w,
+                                round](const AnnealerState &snap) {
+                            WorkloadCheckpoint wc;
+                            wc.round = round;
+                            wc.anneal = snap;
+                            wc.evals = evals[w].load();
+                            wc.adoptions = adoptions[w];
+                            wc.memo = memoToVector(memo[w]);
+                            atomicWriteFile(
+                                workloadCheckpointPath(w),
+                                serializeWorkloadCheckpoint(wc,
+                                                            identity));
+                            metrics.counter("checkpoint.writes").add();
+                            verbose("explore[%s] checkpoint: round %d "
+                                    "iteration %llu/%llu",
+                                    suite_[w].name.c_str(), round,
+                                    static_cast<unsigned long long>(
+                                        snap.iteration),
+                                    static_cast<unsigned long long>(
+                                        iters_per_round));
+                            if (opts_.checkpointWrittenHook)
+                                opts_.checkpointWrittenHook(
+                                    workloadCheckpointPath(w));
+                        };
+                    }
+                    annealer.resume(st, opts_.checkpointEvery, hook);
+
+                    current[w] = st.result.best;
+                    current_ipt[w] = st.result.bestScore;
+                    const size_t done = done_count.fetch_add(1) + 1;
+                    verbose("explore[%s] round %d: best IPT %.3f (%s)",
+                            suite_[w].name.c_str(), round,
+                            st.result.bestScore,
+                            st.result.best.summary().c_str());
+                    inform("explore progress: round %d/%d, %zu/%zu "
+                           "workloads, %llu evaluations, %.1fs",
+                           round + 1, opts_.rounds, done, n,
+                           static_cast<unsigned long long>(
+                               metrics.counter("anneal.evaluations")
+                                   .get()),
+                           elapsed_s());
+                }
+            };
+            std::vector<std::thread> pool;
+            const int nthreads =
+                std::min<int>(opts_.threads, static_cast<int>(n));
+            pool.reserve(static_cast<size_t>(nthreads));
+            for (int t = 0; t < nthreads; ++t)
+                pool.emplace_back(worker);
+            for (auto &t : pool)
+                t.join();
+
+            // Cross-adoption (§4.1) *between* rounds: a workload that
+            // performs clearly better on another workload's incumbent
+            // takes it as its own and keeps annealing from there in
+            // the next round, exactly as in the paper — so adopted
+            // configurations re-specialize instead of collapsing the
+            // suite onto a few shared architectures. No adoption
+            // after the final round.
+            if (round < opts_.rounds - 1) {
+                ScopedTimer adopt_timer("explore.adopt_seconds");
+                for (size_t w = 0; w < n; ++w) {
+                    for (size_t other = 0; other < n; ++other) {
+                        if (other == w)
+                            continue;
+                        if (current[other].sameArch(current[w]))
+                            continue;
+                        const double ipt =
+                            cached_eval(w, current[other]);
+                        if (ipt > current_ipt[w] *
+                                      (1.0 + opts_.adoptionMargin)) {
+                            current[w] = current[other];
+                            current_ipt[w] = ipt;
+                            ++adoptions[w];
+                            metrics.counter("explore.adoptions").add();
+                        }
                     }
                 }
             }
+            // Round barrier: commit the post-adoption suite state in
+            // one atomic file, so a crash never mixes pre- and
+            // post-adoption state across workloads.
+            write_suite_ckpt(round + 1, SuiteCheckpoint::Phase::Anneal,
+                             0);
+            inform("exploration round %d/%d done", round + 1,
+                   opts_.rounds);
         }
-        inform("exploration round %d/%d done", round + 1, opts_.rounds);
     }
 
     // Final pass at the (longer) final evaluation length: score every
@@ -162,6 +386,7 @@ Explorer::exploreAll()
     // in a clearly inferior local optimum takes the better foreign
     // configuration, while small noise-level differences keep the
     // customized configurations distinct.
+    ScopedTimer final_timer("explore.final_seconds");
     const uint64_t score_instrs = opts_.finalEvalInstrs > 0
                                       ? opts_.finalEvalInstrs
                                       : opts_.evalInstrs;
@@ -169,13 +394,17 @@ Explorer::exploreAll()
     // annealing-length buffers above remain valid for their holders.
     for (size_t w = 0; w < n; ++w)
         traces[w] = sharedTrace(suite_[w], 0, 2 * score_instrs);
-    std::vector<double> final_ipt(n);
-    for (size_t w = 0; w < n; ++w) {
-        final_ipt[w] =
-            evaluate(suite_[w], current[w], score_instrs, traces[w]);
-        evals[w].fetch_add(1, std::memory_order_relaxed);
+    if (!have_final_ipt) {
+        for (size_t w = 0; w < n; ++w) {
+            final_ipt[w] = evaluate(suite_[w], current[w],
+                                    score_instrs, traces[w]);
+            evals[w].fetch_add(1, std::memory_order_relaxed);
+        }
+        write_suite_ckpt(opts_.rounds,
+                         SuiteCheckpoint::Phase::FinalScored, 0);
+        adopt_index = 0;
     }
-    for (size_t w = 0; w < n; ++w) {
+    for (size_t w = adopt_index; w < n; ++w) {
         for (size_t other = 0; other < n; ++other) {
             if (other == w || current[other].sameArch(current[w]))
                 continue;
@@ -186,9 +415,12 @@ Explorer::exploreAll()
                           (1.0 + opts_.grossAdoptionMargin)) {
                 current[w] = current[other];
                 final_ipt[w] = ipt;
-                ++results[w].adoptions;
+                ++adoptions[w];
+                metrics.counter("explore.adoptions").add();
             }
         }
+        write_suite_ckpt(opts_.rounds,
+                         SuiteCheckpoint::Phase::FinalAdopt, w + 1);
     }
 
     for (size_t w = 0; w < n; ++w) {
@@ -197,6 +429,17 @@ Explorer::exploreAll()
         results[w].best.name = suite_[w].name;
         results[w].bestIpt = final_ipt[w];
         results[w].evaluations = evals[w].load();
+        results[w].adoptions = adoptions[w];
+    }
+
+    // Exploration complete: the checkpoints have served their purpose
+    // and must not shadow a future (possibly different) run.
+    if (ckpt) {
+        std::error_code ec;
+        for (size_t w = 0; w < n; ++w)
+            std::filesystem::remove(workloadCheckpointPath(w), ec);
+        std::filesystem::remove(suiteCheckpointPath(), ec);
+        metrics.counter("checkpoint.completed_runs").add();
     }
     return results;
 }

@@ -9,16 +9,26 @@
  *
  * The output — one customized configuration per workload — is the
  * paper's *configurational characterization* of the suite.
+ *
+ * Long explorations are crash-safe (DESIGN.md §7): with
+ * `checkpointEvery` > 0, per-workload checkpoint files and a suite
+ * barrier file are written atomically under `checkpointDir`, and a
+ * restarted Explorer resumes from them transparently, producing
+ * results bit-identical to an uninterrupted run. Checkpoints carry an
+ * identity manifest (budget, seeds, profile fingerprints, bounds);
+ * stale or corrupted checkpoint files are ignored, never half-used.
  */
 
 #ifndef XPS_EXPLORE_EXPLORER_HH
 #define XPS_EXPLORE_EXPLORER_HH
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "explore/annealer.hh"
+#include "explore/checkpoint.hh"
 #include "explore/search_space.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
@@ -49,6 +59,17 @@ struct ExplorerOptions
      *  final evaluation length (the paper's adoption rule, applied
      *  only to gross violations so diversity is preserved). */
     double grossAdoptionMargin = 0.08;
+
+    /** Annealing iterations between checkpoint writes; 0 disables
+     *  checkpointing entirely (the default — the cached experiment
+     *  pipeline turns it on from XPS_CHECKPOINT_EVERY). */
+    uint64_t checkpointEvery = 0;
+    /** Checkpoint directory; empty resolves to
+     *  $XPS_RESULTS_DIR/checkpoints when checkpointing is enabled. */
+    std::string checkpointDir;
+    /** Test-only fault-injection hook: called (possibly from worker
+     *  threads) after every checkpoint file write with its path. */
+    std::function<void(const std::string &)> checkpointWrittenHook;
 };
 
 /** One workload's exploration outcome. */
@@ -69,7 +90,8 @@ class Explorer
              ExplorerOptions opts = ExplorerOptions{},
              ExploreBounds bounds = ExploreBounds{});
 
-    /** Run the full exploration; results in suite order. */
+    /** Run the full exploration (resuming from checkpoints when
+     *  enabled and present); results in suite order. */
     std::vector<WorkloadResult> exploreAll();
 
     /** Evaluate one workload on one configuration (IPT). With a
@@ -82,7 +104,14 @@ class Explorer
 
     const SearchSpace &space() const { return space_; }
 
+    /** The identity manifest embedded in this exploration's
+     *  checkpoints (budget, seeds, profile fingerprints, bounds). */
+    CsvManifest checkpointIdentity() const;
+
   private:
+    std::string workloadCheckpointPath(size_t w) const;
+    std::string suiteCheckpointPath() const;
+
     std::vector<WorkloadProfile> suite_;
     ExplorerOptions opts_;
     UnitTiming timing_;

@@ -1,6 +1,7 @@
 #include "sim/config.hh"
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
@@ -122,7 +123,16 @@ CoreConfig::csvHeader()
 std::vector<std::string>
 CoreConfig::toCsvRow() const
 {
-    return {name, formatDouble(clockNs, 4), std::to_string(width),
+    // Shortest decimal that round-trips exactly through strtod, so a
+    // cached configuration reloads with the very same clock it was
+    // explored at (sameArch compares clocks bit-exactly).
+    char clock[40];
+    for (int prec = 15; prec <= 17; ++prec) {
+        std::snprintf(clock, sizeof(clock), "%.*g", prec, clockNs);
+        if (std::strtod(clock, nullptr) == clockNs)
+            break;
+    }
+    return {name, clock, std::to_string(width),
             std::to_string(robSize), std::to_string(iqSize),
             std::to_string(lsqSize), std::to_string(schedDepth),
             std::to_string(lsqDepth), std::to_string(l1Sets),
@@ -196,6 +206,34 @@ CoreConfig::sameArch(const CoreConfig &other) const
            l2Assoc == other.l2Assoc &&
            l2LineBytes == other.l2LineBytes &&
            l2Cycles == other.l2Cycles;
+}
+
+uint64_t
+configFingerprint(const CoreConfig &cfg)
+{
+    // FNV-1a over 64-bit lanes; the clock by bit pattern so distinct
+    // doubles never collide through decimal rounding.
+    uint64_t h = 0xcbf29ce484222325ULL;
+    auto mix = [&h](uint64_t v) { h = (h ^ v) * 0x100000001b3ULL; };
+    uint64_t clock_bits;
+    static_assert(sizeof(clock_bits) == sizeof(cfg.clockNs));
+    __builtin_memcpy(&clock_bits, &cfg.clockNs, sizeof(clock_bits));
+    mix(clock_bits);
+    mix(cfg.width);
+    mix(cfg.robSize);
+    mix(cfg.iqSize);
+    mix(cfg.lsqSize);
+    mix(static_cast<uint64_t>(cfg.schedDepth));
+    mix(static_cast<uint64_t>(cfg.lsqDepth));
+    mix(cfg.l1Sets);
+    mix(cfg.l1Assoc);
+    mix(cfg.l1LineBytes);
+    mix(static_cast<uint64_t>(cfg.l1Cycles));
+    mix(cfg.l2Sets);
+    mix(cfg.l2Assoc);
+    mix(cfg.l2LineBytes);
+    mix(static_cast<uint64_t>(cfg.l2Cycles));
+    return h;
 }
 
 } // namespace xps

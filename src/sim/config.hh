@@ -101,6 +101,12 @@ struct CoreConfig
     bool sameArch(const CoreConfig &other) const;
 };
 
+/** Stable hash over the architectural fields (name excluded; the
+ *  clock is hashed by bit pattern). Used as cache/checkpoint
+ *  identity: equal fingerprints <=> sameArch() for practical
+ *  purposes. */
+uint64_t configFingerprint(const CoreConfig &cfg);
+
 } // namespace xps
 
 #endif // XPS_SIM_CONFIG_HH

@@ -1,0 +1,99 @@
+#include "util/atomic_file.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace xps
+{
+
+namespace
+{
+
+void
+fsyncPath(const std::string &path, bool directory)
+{
+    const int flags = directory ? O_RDONLY | O_DIRECTORY : O_RDONLY;
+    const int fd = ::open(path.c_str(), flags);
+    if (fd < 0) {
+        // Some filesystems refuse O_DIRECTORY opens; the rename is
+        // still atomic, only its durability after a power cut is
+        // weakened, so this is survivable.
+        if (directory)
+            return;
+        fatal("atomicWriteFile: cannot reopen %s for fsync: %s",
+              path.c_str(), std::strerror(errno));
+    }
+    if (::fsync(fd) != 0 && errno != EINVAL && errno != EROFS) {
+        ::close(fd);
+        fatal("atomicWriteFile: fsync(%s) failed: %s", path.c_str(),
+              std::strerror(errno));
+    }
+    ::close(fd);
+}
+
+} // namespace
+
+void
+atomicWriteFile(const std::string &path, const std::string &content)
+{
+    const std::filesystem::path fs_path(path);
+    if (fs_path.has_parent_path()) {
+        std::error_code ec;
+        std::filesystem::create_directories(fs_path.parent_path(), ec);
+        if (ec)
+            fatal("atomicWriteFile: cannot create directory for %s: %s",
+                  path.c_str(), ec.message().c_str());
+    }
+
+    // A per-process temp name keeps concurrent writers of the same
+    // target from clobbering each other's staging file; the last
+    // rename wins with a complete file either way.
+    std::ostringstream tmp_name;
+    tmp_name << path << ".tmp." << ::getpid();
+    const std::string tmp = tmp_name.str();
+
+    {
+        std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+        if (!out)
+            fatal("atomicWriteFile: cannot open %s for writing",
+                  tmp.c_str());
+        out.write(content.data(),
+                  static_cast<std::streamsize>(content.size()));
+        out.flush();
+        if (!out)
+            fatal("atomicWriteFile: write to %s failed", tmp.c_str());
+    }
+    fsyncPath(tmp, false);
+
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const int err = errno;
+        std::remove(tmp.c_str());
+        fatal("atomicWriteFile: rename %s -> %s failed: %s",
+              tmp.c_str(), path.c_str(), std::strerror(err));
+    }
+    if (fs_path.has_parent_path())
+        fsyncPath(fs_path.parent_path().string(), true);
+}
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+} // namespace xps

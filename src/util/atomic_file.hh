@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Crash-safe file writes. A plain ofstream truncates the target in
+ * place, so a crash mid-write leaves a torn file that later readers
+ * half-parse. atomicWriteFile() writes a temporary sibling, fsyncs it,
+ * and rename()s it over the target — readers see either the old
+ * complete file or the new complete file, never a mixture. Used by
+ * writeCsv(), the exploration checkpoints and the metrics dump.
+ */
+
+#ifndef XPS_UTIL_ATOMIC_FILE_HH
+#define XPS_UTIL_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace xps
+{
+
+/**
+ * Atomically replace `path` with `content`: write `path.tmp.<pid>`,
+ * fsync it, rename it over `path`, and fsync the parent directory so
+ * the rename itself survives a power cut. Parent directories are
+ * created as needed. fatal() on any I/O error.
+ */
+void atomicWriteFile(const std::string &path, const std::string &content);
+
+/** Read a whole file into `out`; false if it cannot be opened. */
+bool readFile(const std::string &path, std::string &out);
+
+} // namespace xps
+
+#endif // XPS_UTIL_ATOMIC_FILE_HH

@@ -1,26 +1,21 @@
 #include "util/csv.hh"
 
-#include <filesystem>
+#include <cstdlib>
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 
 namespace xps
 {
 
-size_t
-CsvDoc::column(const std::string &name) const
-{
-    for (size_t i = 0; i < header.size(); ++i) {
-        if (header[i] == name)
-            return i;
-    }
-    fatal("CsvDoc: no column named '%s'", name.c_str());
-}
-
 namespace
 {
+
+constexpr const char *kManifestMagic = "# xps-cache-manifest v1";
+constexpr const char *kManifestEnd = "# end-manifest";
+constexpr const char *kFooterPrefix = "# end rows=";
 
 void
 checkCell(const std::string &cell)
@@ -43,22 +38,16 @@ splitLine(const std::string &line)
     return cells;
 }
 
-} // namespace
-
-void
-writeCsv(const std::string &path, const CsvDoc &doc)
+std::string
+renderCsv(const CsvDoc &doc, const CsvManifest *manifest)
 {
-    const std::filesystem::path fs_path(path);
-    if (fs_path.has_parent_path()) {
-        std::error_code ec;
-        std::filesystem::create_directories(fs_path.parent_path(), ec);
-        if (ec)
-            fatal("cannot create directory for %s: %s",
-                  path.c_str(), ec.message().c_str());
+    std::ostringstream out;
+    if (manifest) {
+        out << kManifestMagic << '\n';
+        for (const auto &[key, value] : manifest->entries)
+            out << "# " << key << '=' << value << '\n';
+        out << kManifestEnd << '\n';
     }
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        fatal("cannot open %s for writing", path.c_str());
     auto emit = [&](const std::vector<std::string> &cells) {
         for (size_t i = 0; i < cells.size(); ++i) {
             checkCell(cells[i]);
@@ -73,34 +62,202 @@ writeCsv(const std::string &path, const CsvDoc &doc)
                   row.size(), doc.header.size());
         emit(row);
     }
+    if (manifest)
+        out << kFooterPrefix << doc.rows.size() << '\n';
+    return out.str();
 }
 
-bool
-readCsv(const std::string &path, CsvDoc &doc)
+struct ParsedCsv
+{
+    CsvDoc doc;
+    CsvManifest manifest;
+    bool sawManifest = false;
+    bool manifestClosed = false;
+    bool sawFooter = false;
+    bool newlineTerminated = false;
+    uint64_t footerRows = 0;
+};
+
+enum class ParseStatus { Ok, NoFile, Malformed };
+
+/**
+ * One parser for both entry points. In tolerant mode any structural
+ * problem yields Malformed instead of fatal() so cache readers can
+ * fall back to recomputation.
+ */
+ParseStatus
+parseCsv(const std::string &path, bool tolerant, ParsedCsv &out)
 {
     std::ifstream in(path);
     if (!in)
-        return false;
-    doc.header.clear();
-    doc.rows.clear();
+        return ParseStatus::NoFile;
+    auto malformed = [&](const char *why) {
+        if (!tolerant)
+            fatal("readCsv(%s): %s", path.c_str(), why);
+        return ParseStatus::Malformed;
+    };
+    // Writers always newline-terminate; a missing final newline means
+    // the last line is torn mid-write, which validation must reject.
+    in.seekg(0, std::ios::end);
+    if (in.tellg() > 0) {
+        in.seekg(-1, std::ios::end);
+        out.newlineTerminated = in.get() == '\n';
+    }
+    in.clear();
+    in.seekg(0, std::ios::beg);
     std::string line;
-    bool first = true;
+    bool first_line = true;
+    bool have_header = false;
     while (std::getline(in, line)) {
         if (!line.empty() && line.back() == '\r')
             line.pop_back();
         if (line.empty())
             continue;
+        if (first_line && line == kManifestMagic) {
+            out.sawManifest = true;
+            first_line = false;
+            continue;
+        }
+        first_line = false;
+        if (out.sawManifest && !out.manifestClosed) {
+            if (line == kManifestEnd) {
+                out.manifestClosed = true;
+                continue;
+            }
+            if (line.size() < 2 || line[0] != '#' || line[1] != ' ')
+                return malformed("bad manifest line");
+            const size_t eq = line.find('=', 2);
+            if (eq == std::string::npos)
+                return malformed("bad manifest line");
+            out.manifest.entries.emplace_back(
+                line.substr(2, eq - 2), line.substr(eq + 1));
+            continue;
+        }
+        if (line.rfind(kFooterPrefix, 0) == 0) {
+            if (out.sawFooter)
+                return malformed("duplicate footer");
+            char *end = nullptr;
+            const std::string count = line.substr(
+                std::string(kFooterPrefix).size());
+            out.footerRows = std::strtoull(count.c_str(), &end, 10);
+            if (end == count.c_str() || *end != '\0')
+                return malformed("bad footer");
+            out.sawFooter = true;
+            continue;
+        }
+        if (line[0] == '#')
+            continue; // other comments are ignored
+        if (out.sawFooter)
+            return malformed("data after footer");
         auto cells = splitLine(line);
-        if (first) {
-            doc.header = std::move(cells);
-            first = false;
+        if (!have_header) {
+            out.doc.header = std::move(cells);
+            have_header = true;
         } else {
-            if (cells.size() != doc.header.size())
-                fatal("readCsv(%s): ragged row", path.c_str());
-            doc.rows.push_back(std::move(cells));
+            if (cells.size() != out.doc.header.size())
+                return malformed("ragged row");
+            out.doc.rows.push_back(std::move(cells));
         }
     }
-    return !first;
+    if (!have_header)
+        return tolerant ? ParseStatus::Malformed : ParseStatus::NoFile;
+    if (out.sawManifest && !out.manifestClosed)
+        return malformed("unterminated manifest");
+    return ParseStatus::Ok;
+}
+
+} // namespace
+
+size_t
+CsvDoc::column(const std::string &name) const
+{
+    for (size_t i = 0; i < header.size(); ++i) {
+        if (header[i] == name)
+            return i;
+    }
+    fatal("CsvDoc: no column named '%s'", name.c_str());
+}
+
+void
+CsvManifest::set(const std::string &key, const std::string &value)
+{
+    if (key.empty() || key.find_first_of("=\n") != std::string::npos ||
+        value.find('\n') != std::string::npos) {
+        fatal("CsvManifest: bad entry '%s'='%s'", key.c_str(),
+              value.c_str());
+    }
+    for (auto &entry : entries) {
+        if (entry.first == key) {
+            entry.second = value;
+            return;
+        }
+    }
+    entries.emplace_back(key, value);
+}
+
+void
+CsvManifest::set(const std::string &key, uint64_t value)
+{
+    set(key, std::to_string(value));
+}
+
+const std::string *
+CsvManifest::find(const std::string &key) const
+{
+    for (const auto &entry : entries) {
+        if (entry.first == key)
+            return &entry.second;
+    }
+    return nullptr;
+}
+
+void
+writeCsv(const std::string &path, const CsvDoc &doc)
+{
+    atomicWriteFile(path, renderCsv(doc, nullptr));
+}
+
+void
+writeCsv(const std::string &path, const CsvDoc &doc,
+         const CsvManifest &manifest)
+{
+    atomicWriteFile(path, renderCsv(doc, &manifest));
+}
+
+bool
+readCsv(const std::string &path, CsvDoc &doc)
+{
+    ParsedCsv parsed;
+    if (parseCsv(path, false, parsed) != ParseStatus::Ok)
+        return false;
+    doc = std::move(parsed.doc);
+    return true;
+}
+
+bool
+readCsvValidated(const std::string &path, CsvDoc &doc,
+                 const CsvManifest &expected)
+{
+    ParsedCsv parsed;
+    if (parseCsv(path, true, parsed) != ParseStatus::Ok)
+        return false;
+    if (!parsed.sawManifest) {
+        warn("cache %s has no manifest; recomputing", path.c_str());
+        return false;
+    }
+    if (!(parsed.manifest == expected)) {
+        warn("cache %s is stale (manifest mismatch); recomputing",
+             path.c_str());
+        return false;
+    }
+    if (!parsed.sawFooter || !parsed.newlineTerminated ||
+        parsed.footerRows != parsed.doc.rows.size()) {
+        warn("cache %s is torn (missing or wrong footer); recomputing",
+             path.c_str());
+        return false;
+    }
+    doc = std::move(parsed.doc);
+    return true;
 }
 
 } // namespace xps

@@ -5,11 +5,21 @@
  * quotes in our use, so no quoting dialect is implemented; writing a
  * cell with a comma, quote or newline is a fatal error rather than a
  * silent corruption.
+ *
+ * Writes are crash-safe (temp + fsync + rename via atomicWriteFile),
+ * and cache files carry a manifest header (schema version, budget
+ * knobs, profile fingerprints — whatever the producer deems
+ * identity-relevant) plus an integrity footer. readCsvValidated()
+ * accepts a file only when its manifest matches the expectation
+ * exactly and the footer proves the file is complete; a torn, stale
+ * or garbage cache is rejected (returns false) so the caller
+ * recomputes instead of half-parsing (DESIGN.md §7).
  */
 
 #ifndef XPS_UTIL_CSV_HH
 #define XPS_UTIL_CSV_HH
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -26,11 +36,55 @@ struct CsvDoc
     size_t column(const std::string &name) const;
 };
 
-/** Write a document to a file, creating parent directories. */
+/**
+ * Ordered key=value identity of a cache file. Two manifests match
+ * only when they hold the same keys with the same values in the same
+ * order — any difference marks the cache stale.
+ */
+struct CsvManifest
+{
+    std::vector<std::pair<std::string, std::string>> entries;
+
+    /** Append or overwrite a key (keys and values must be single-line
+     *  and must not contain '='; fatal otherwise). */
+    void set(const std::string &key, const std::string &value);
+    void set(const std::string &key, uint64_t value);
+
+    /** Value of a key, or nullptr when absent. */
+    const std::string *find(const std::string &key) const;
+
+    bool operator==(const CsvManifest &other) const
+    {
+        return entries == other.entries;
+    }
+};
+
+/** Atomically write a document (no manifest: ad-hoc outputs). */
 void writeCsv(const std::string &path, const CsvDoc &doc);
 
-/** Read a document; returns false if the file does not exist. */
+/** Atomically write a cache document with manifest header and
+ *  integrity footer. */
+void writeCsv(const std::string &path, const CsvDoc &doc,
+              const CsvManifest &manifest);
+
+/**
+ * Read a document; returns false if the file does not exist. Comment
+ * lines (leading '#') are skipped, so manifest-carrying files parse
+ * too. Malformed content (ragged rows) is fatal — use
+ * readCsvValidated() for files an earlier crash may have torn.
+ */
 bool readCsv(const std::string &path, CsvDoc &doc);
+
+/**
+ * Validated cache read: true only when the file exists, parses
+ * cleanly, carries a manifest equal to `expected`, and ends with an
+ * intact footer whose row count matches. Any deviation — missing or
+ * mismatched manifest (stale knobs, different profiles), truncation,
+ * garbage, ragged rows — returns false without terminating, so the
+ * caller recomputes.
+ */
+bool readCsvValidated(const std::string &path, CsvDoc &doc,
+                      const CsvManifest &expected);
 
 } // namespace xps
 

@@ -53,6 +53,10 @@ Budget::get()
             envInt("XPS_FINAL_INSTRS", 200000));
         b.resultsDir = envString("XPS_RESULTS_DIR", "results");
         b.threads = resolveThreads();
+        const int64_t every = envInt("XPS_CHECKPOINT_EVERY", 64);
+        if (every < 0)
+            fatal("XPS_CHECKPOINT_EVERY must be >= 0");
+        b.checkpointEvery = static_cast<uint64_t>(every);
         return b;
     }();
     return budget;

@@ -4,11 +4,16 @@
  * weeks on a blade; these environment variables let the benches run the
  * same pipeline at laptop scale while keeping every run deterministic.
  *
- *   XPS_EVAL_INSTRS   instructions per annealing evaluation
- *   XPS_SA_ITERS      annealing steps per workload
- *   XPS_FINAL_INSTRS  instructions for final cross-config evaluations
- *   XPS_RESULTS_DIR   cache directory for exploration outputs
- *   XPS_THREADS       worker threads for parallel exploration
+ *   XPS_EVAL_INSTRS      instructions per annealing evaluation
+ *   XPS_SA_ITERS         annealing steps per workload
+ *   XPS_FINAL_INSTRS     instructions for final cross-config evaluations
+ *   XPS_RESULTS_DIR      cache directory for exploration outputs
+ *   XPS_THREADS          worker threads for parallel exploration
+ *   XPS_CHECKPOINT_EVERY annealing iterations between checkpoint
+ *                        writes in the cached experiment pipeline
+ *                        (0 disables checkpointing)
+ *   XPS_METRICS_JSON     when set, dump the metrics registry to this
+ *                        file at process exit (util/metrics.hh)
  */
 
 #ifndef XPS_UTIL_ENV_HH
@@ -43,6 +48,9 @@ struct Budget
     uint64_t finalInstrs;  ///< instructions per final evaluation
     std::string resultsDir;///< cache directory for exploration outputs
     int threads;           ///< exploration worker threads
+    /** Annealing iterations between checkpoint writes in the cached
+     *  experiment pipeline (0 = checkpointing off). */
+    uint64_t checkpointEvery;
 
     /** Resolve from the environment (with defaults from DESIGN.md). */
     static const Budget &get();

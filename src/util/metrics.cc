@@ -1,0 +1,106 @@
+#include "util/metrics.hh"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/atomic_file.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace xps
+{
+
+namespace
+{
+
+void
+dumpGlobalAtExit()
+{
+    const std::string path = envString("XPS_METRICS_JSON", "");
+    if (!path.empty())
+        Metrics::global().writeJson(path);
+}
+
+} // namespace
+
+Metrics &
+Metrics::global()
+{
+    static Metrics *instance = [] {
+        auto *m = new Metrics();
+        if (!envString("XPS_METRICS_JSON", "").empty())
+            std::atexit(dumpGlobalAtExit);
+        return m;
+    }();
+    return *instance;
+}
+
+Counter &
+Metrics::counter(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_[name];
+}
+
+void
+Metrics::addSeconds(const std::string &name, double seconds)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    timers_[name] += seconds;
+}
+
+Metrics::Snapshot
+Metrics::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.counters.reserve(counters_.size());
+    for (const auto &[name, counter] : counters_)
+        snap.counters.emplace_back(name, counter.get());
+    snap.timers.reserve(timers_.size());
+    for (const auto &[name, seconds] : timers_)
+        snap.timers.emplace_back(name, seconds);
+    return snap;
+}
+
+std::string
+Metrics::toJson() const
+{
+    const Snapshot snap = snapshot();
+    std::ostringstream out;
+    out << "{\n  \"counters\": {";
+    for (size_t i = 0; i < snap.counters.size(); ++i) {
+        out << (i ? ",\n    " : "\n    ") << '"'
+            << snap.counters[i].first << "\": "
+            << snap.counters[i].second;
+    }
+    out << (snap.counters.empty() ? "" : "\n  ") << "},\n"
+        << "  \"timers_seconds\": {";
+    char buf[64];
+    for (size_t i = 0; i < snap.timers.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%.6f", snap.timers[i].second);
+        out << (i ? ",\n    " : "\n    ") << '"' << snap.timers[i].first
+            << "\": " << buf;
+    }
+    out << (snap.timers.empty() ? "" : "\n  ") << "}\n}\n";
+    return out.str();
+}
+
+void
+Metrics::reset()
+{
+    // Zero in place rather than erase: cached Counter references must
+    // stay valid across a reset.
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &[name, counter] : counters_)
+        counter.reset();
+    timers_.clear();
+}
+
+void
+Metrics::writeJson(const std::string &path) const
+{
+    atomicWriteFile(path, toJson());
+}
+
+} // namespace xps

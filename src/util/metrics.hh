@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Lightweight process-wide metrics registry: named monotonic counters
+ * and wall-time accumulators, cheap enough for the annealing inner
+ * loop (one relaxed atomic add per event once the counter handle is
+ * looked up). The Explorer prints periodic progress from it, and when
+ * XPS_METRICS_JSON names a file, the full registry is dumped there as
+ * JSON at process exit (and on demand) for bench tooling.
+ *
+ * Naming convention: dotted lower-case paths, e.g.
+ *   sim.evaluations          anneal.accepts / anneal.rejects /
+ *   anneal.rollbacks         trace_cache.hits / trace_cache.misses
+ *   checkpoint.writes        explore.anneal_seconds
+ */
+
+#ifndef XPS_UTIL_METRICS_HH
+#define XPS_UTIL_METRICS_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xps
+{
+
+/** One monotonic counter; handles stay valid for process lifetime. */
+class Counter
+{
+  public:
+    void
+    add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    get() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    /** Zero the counter (Metrics::reset(); tests only). */
+    void
+    reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** The registry. Use Metrics::global() for the process instance. */
+class Metrics
+{
+  public:
+    /** Process-wide registry; first use arms the XPS_METRICS_JSON
+     *  at-exit dump when that variable names a file. */
+    static Metrics &global();
+
+    /** Look up (or create) a counter. The reference stays valid for
+     *  the lifetime of the registry; hot paths should cache it. */
+    Counter &counter(const std::string &name);
+
+    /** Accumulate wall time into a named timer. */
+    void addSeconds(const std::string &name, double seconds);
+
+    /** Point-in-time copy of every counter and timer. */
+    struct Snapshot
+    {
+        std::vector<std::pair<std::string, uint64_t>> counters;
+        std::vector<std::pair<std::string, double>> timers;
+    };
+    Snapshot snapshot() const;
+
+    /** Render the registry as a JSON object
+     *  {"counters": {...}, "timers_seconds": {...}}. */
+    std::string toJson() const;
+
+    /** Zero every counter and timer (tests). */
+    void reset();
+
+    /** Atomically write toJson() to `path`. */
+    void writeJson(const std::string &path) const;
+
+  private:
+    mutable std::mutex mutex_;
+    // node-based map: Counter references remain stable across inserts.
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, double> timers_;
+};
+
+/** RAII wall-clock timer accumulating into Metrics on destruction. */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(const std::string &name,
+                         Metrics &metrics = Metrics::global())
+        : metrics_(metrics), name_(name),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        const std::chrono::duration<double> dt =
+            std::chrono::steady_clock::now() - start_;
+        metrics_.addSeconds(name_, dt.count());
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Metrics &metrics_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace xps
+
+#endif // XPS_UTIL_METRICS_HH

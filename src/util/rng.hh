@@ -12,6 +12,7 @@
 #ifndef XPS_UTIL_RNG_HH
 #define XPS_UTIL_RNG_HH
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 
@@ -161,6 +162,22 @@ class Rng
     fork(uint64_t stream)
     {
         return Rng(next() ^ (stream * 0x9e3779b97f4a7c15ULL));
+    }
+
+    /** The full 256-bit state, for checkpoint serialization. */
+    std::array<uint64_t, 4>
+    state() const
+    {
+        return {state_[0], state_[1], state_[2], state_[3]};
+    }
+
+    /** Restore a generator to a serialized state: the draw sequence
+     *  continues bit-identically from where state() was taken. */
+    void
+    setState(const std::array<uint64_t, 4> &state)
+    {
+        for (int i = 0; i < 4; ++i)
+            state_[i] = state[i];
     }
 
   private:

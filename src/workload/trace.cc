@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "workload/generator.hh"
 
 namespace xps
@@ -149,8 +150,13 @@ sharedTrace(const WorkloadProfile &profile, uint64_t stream_id,
 
     std::lock_guard<std::mutex> lock(registryMutex);
     RegistryEntry &entry = registry()[key];
-    if (entry.buf && entry.buf->size() >= want)
+    if (entry.buf && entry.buf->size() >= want) {
+        Metrics::global().counter("trace_cache.hits").add();
         return entry.buf;
+    }
+    Metrics::global().counter(entry.buf ? "trace_cache.grows"
+                                        : "trace_cache.misses")
+        .add();
 
     if (!entry.gen) {
         entry.gen =
