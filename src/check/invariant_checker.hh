@@ -1,0 +1,361 @@
+/**
+ * @file
+ * Per-cycle structural invariant checker for OooCore (DESIGN.md §8).
+ *
+ * The core calls a small set of hooks (dispatch / issue / commit /
+ * fetch / cycle end) whenever a checker is attached; each hook is
+ * guarded by a single null-pointer test on the core side, so an
+ * unchecked run pays nothing but that branch. The checker keeps its
+ * own shadow state — it derives every limit (widths, functional-unit
+ * counts, wakeup latencies, front-end depth) independently from the
+ * CoreConfig rather than trusting the core's internals — and asserts:
+ *
+ *   - ROB / IQ / LSQ occupancy never exceeds the configured capacity;
+ *   - commit order is program order (sequence numbers are contiguous);
+ *   - an instruction is dispatched before it issues, issues before it
+ *     commits, and commits no earlier than its completion cycle;
+ *   - dispatch respects the front-end pipeline delay;
+ *   - per-cycle commit / issue / dispatch / fetch counts never exceed
+ *     `width`;
+ *   - per-cycle functional-unit limits hold (ALU ops <= width,
+ *     multiplies <= max(1, width/3), memory ops <= 2 cache ports);
+ *   - no consumer issues before its producer's operands can be
+ *     available: max(completion, issue + 1 + awaken latency), or the
+ *     producer's commit cycle if it retires first.
+ *
+ * The wakeup-latency check recomputes the legal wake cycle from the
+ * configuration (schedDepth) and the producer's observed issue and
+ * completion cycles; it deliberately does not read the core's own
+ * wakeCycle field, so a core that wakes consumers too early is caught
+ * even when its bookkeeping is self-consistent (the fuzz tier injects
+ * exactly this bug to prove it).
+ *
+ * Header-only on purpose: OooCore and the simulate() facade (both in
+ * xps_sim) call into it directly while the rest of the checking
+ * subsystem (src/check) links against xps_sim, which keeps the
+ * library dependency graph acyclic.
+ */
+
+#ifndef XPS_CHECK_INVARIANT_CHECKER_HH
+#define XPS_CHECK_INVARIANT_CHECKER_HH
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "workload/micro_op.hh"
+
+/*
+ * OooCore calls the on*() hooks from its hottest loops behind an
+ * `if (checker_)` that is false in every production run. Keeping the
+ * bodies out of line makes the disabled path cost a single predicted
+ * branch instead of the register pressure and icache footprint the
+ * inlined checks would add to doIssue()/doCommit()/doDispatch().
+ */
+#if defined(__GNUC__)
+#define XPS_CHECK_OUTLINE __attribute__((noinline, cold))
+#else
+#define XPS_CHECK_OUTLINE
+#endif
+
+namespace xps
+{
+
+/** Shadow-state invariant checker attached to one OooCore. */
+class InvariantChecker
+{
+  public:
+    /**
+     * @param cfg the configuration the core was built from (limits
+     *        are re-derived from it, not taken from the core)
+     * @param fail_fast panic on the first violation (XPS_CHECK=1
+     *        production mode); otherwise accumulate for inspection
+     */
+    explicit InvariantChecker(const CoreConfig &cfg,
+                              bool fail_fast = false,
+                              const Technology &tech =
+                                  Technology::defaultTech())
+        : cfg_(cfg), failFast_(fail_fast),
+          awaken_(static_cast<uint64_t>(cfg.awakenLatency())),
+          feStages_(static_cast<uint64_t>(cfg.frontEndStages(tech))),
+          mulUnits_(std::max(1u, cfg.width / 3))
+    {
+        ring_.assign(std::bit_ceil<uint64_t>(cfg.robSize) * 2, Rec{});
+        ringMask_ = ring_.size() - 1;
+    }
+
+    /** The core calls this when a run starts (state is rebuilt). */
+    XPS_CHECK_OUTLINE void
+    onRunStart()
+    {
+        std::fill(ring_.begin(), ring_.end(), Rec{});
+        nextCommitSeq_ = 0;
+        curCycle_ = UINT64_MAX;
+        commits_ = issues_ = dispatches_ = fetches_ = 0;
+        aluUsed_ = mulUsed_ = memUsed_ = 0;
+    }
+
+    XPS_CHECK_OUTLINE void
+    onFetch(uint64_t cycle)
+    {
+        roll(cycle);
+        if (++fetches_ > cfg_.width)
+            report(cycle, "fetched %u ops in one cycle (width %u)",
+                   fetches_, cfg_.width);
+    }
+
+    XPS_CHECK_OUTLINE void
+    onDispatch(uint64_t seq, const MicroOp &op, uint64_t cycle,
+               uint64_t fetch_cycle)
+    {
+        roll(cycle);
+        if (++dispatches_ > cfg_.width)
+            report(cycle, "dispatched %u ops in one cycle (width %u)",
+                   dispatches_, cfg_.width);
+        if (cycle < fetch_cycle + feStages_)
+            report(cycle,
+                   "seq %llu dispatched %llu cycles after fetch "
+                   "(front end is %llu stages)",
+                   (unsigned long long)seq,
+                   (unsigned long long)(cycle - fetch_cycle),
+                   (unsigned long long)feStages_);
+        Rec &r = ring_[seq & ringMask_];
+        r = Rec{};
+        r.seq = seq;
+        r.live = true;
+        r.srcDist[0] = op.numSrcs > 0 ? op.srcDist[0] : 0;
+        r.srcDist[1] = op.numSrcs > 1 ? op.srcDist[1] : 0;
+    }
+
+    XPS_CHECK_OUTLINE void
+    onIssue(uint64_t seq, const MicroOp &op, uint64_t cycle,
+            uint64_t complete_cycle)
+    {
+        roll(cycle);
+        if (++issues_ > cfg_.width)
+            report(cycle, "issued %u ops in one cycle (width %u)",
+                   issues_, cfg_.width);
+        switch (op.cls) {
+          case OpClass::IntAlu:
+          case OpClass::CondBranch:
+          case OpClass::Jump:
+            if (++aluUsed_ > cfg_.width)
+                report(cycle, "ALU ops over the %u-unit limit",
+                       cfg_.width);
+            break;
+          case OpClass::IntMul:
+            if (++mulUsed_ > mulUnits_)
+                report(cycle, "multiplies over the %u-unit limit",
+                       mulUnits_);
+            break;
+          case OpClass::Load:
+          case OpClass::Store:
+            if (++memUsed_ > kMemPorts)
+                report(cycle, "memory ops over the %u-port limit",
+                       kMemPorts);
+            break;
+        }
+
+        Rec &r = ring_[seq & ringMask_];
+        if (!r.live || r.seq != seq) {
+            report(cycle, "seq %llu issued without a dispatch record",
+                   (unsigned long long)seq);
+            return;
+        }
+        if (r.issued)
+            report(cycle, "seq %llu issued twice",
+                   (unsigned long long)seq);
+        if (complete_cycle <= cycle)
+            report(cycle, "seq %llu completes at its issue cycle",
+                   (unsigned long long)seq);
+        r.issued = true;
+        r.issueCycle = cycle;
+        r.completeCycle = complete_cycle;
+
+        // Producer wake check: recompute, from the configuration and
+        // the producer's observed issue, the earliest cycle its
+        // result can reach a dependent.
+        for (uint32_t dist : r.srcDist) {
+            if (dist == 0 || dist > seq)
+                continue;
+            const uint64_t prod = seq - dist;
+            const Rec &p = ring_[prod & ringMask_];
+            if (!p.live || p.seq != prod)
+                continue; // record recycled: producer long retired
+            if (p.committed) {
+                if (cycle < p.commitCycle)
+                    report(cycle,
+                           "seq %llu issued before producer seq %llu "
+                           "committed (cycle %llu)",
+                           (unsigned long long)seq,
+                           (unsigned long long)prod,
+                           (unsigned long long)p.commitCycle);
+                continue;
+            }
+            if (!p.issued) {
+                report(cycle,
+                       "seq %llu issued before producer seq %llu",
+                       (unsigned long long)seq,
+                       (unsigned long long)prod);
+                continue;
+            }
+            const uint64_t wake =
+                std::max(p.completeCycle,
+                         p.issueCycle + 1 + awaken_);
+            if (cycle < wake)
+                report(cycle,
+                       "seq %llu issued at %llu, before producer seq "
+                       "%llu wakes dependents at %llu (issue %llu, "
+                       "complete %llu, awaken %llu)",
+                       (unsigned long long)seq,
+                       (unsigned long long)cycle,
+                       (unsigned long long)prod,
+                       (unsigned long long)wake,
+                       (unsigned long long)p.issueCycle,
+                       (unsigned long long)p.completeCycle,
+                       (unsigned long long)awaken_);
+        }
+    }
+
+    XPS_CHECK_OUTLINE void
+    onCommit(uint64_t seq, uint64_t cycle)
+    {
+        roll(cycle);
+        if (++commits_ > cfg_.width)
+            report(cycle, "committed %u ops in one cycle (width %u)",
+                   commits_, cfg_.width);
+        if (seq != nextCommitSeq_)
+            report(cycle,
+                   "commit out of program order: seq %llu after %llu",
+                   (unsigned long long)seq,
+                   (unsigned long long)nextCommitSeq_);
+        nextCommitSeq_ = seq + 1;
+        Rec &r = ring_[seq & ringMask_];
+        if (!r.live || r.seq != seq) {
+            report(cycle, "seq %llu committed without a record",
+                   (unsigned long long)seq);
+            return;
+        }
+        if (!r.issued)
+            report(cycle, "seq %llu committed before issuing",
+                   (unsigned long long)seq);
+        else if (cycle < r.completeCycle)
+            report(cycle,
+                   "seq %llu committed at %llu before completing "
+                   "at %llu",
+                   (unsigned long long)seq, (unsigned long long)cycle,
+                   (unsigned long long)r.completeCycle);
+        r.committed = true;
+        r.commitCycle = cycle;
+    }
+
+    XPS_CHECK_OUTLINE void
+    onCycleEnd(uint64_t cycle, uint64_t rob_occ, uint32_t iq_occ,
+               uint32_t lsq_occ)
+    {
+        roll(cycle);
+        if (rob_occ > cfg_.robSize)
+            report(cycle, "ROB occupancy %llu exceeds capacity %u",
+                   (unsigned long long)rob_occ, cfg_.robSize);
+        if (iq_occ > cfg_.iqSize)
+            report(cycle, "IQ occupancy %u exceeds capacity %u",
+                   iq_occ, cfg_.iqSize);
+        if (lsq_occ > cfg_.lsqSize)
+            report(cycle, "LSQ occupancy %u exceeds capacity %u",
+                   lsq_occ, cfg_.lsqSize);
+    }
+
+    bool ok() const { return violations_.empty(); }
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+    /** All violations joined for one-line reporting. */
+    std::string
+    summary() const
+    {
+        std::string out;
+        for (const std::string &v : violations_) {
+            if (!out.empty())
+                out += "; ";
+            out += v;
+        }
+        return out;
+    }
+
+  private:
+    /** Cache ports, mirroring OooCore::kMemPorts (Table-1 ports). */
+    static constexpr uint32_t kMemPorts = 2;
+    /** Keep the first violations only; one bug repeats per cycle. */
+    static constexpr size_t kMaxViolations = 32;
+
+    /** Shadow per-instruction record (ring indexed by seq). */
+    struct Rec
+    {
+        uint64_t seq = 0;
+        uint64_t issueCycle = 0;
+        uint64_t completeCycle = 0;
+        uint64_t commitCycle = 0;
+        uint32_t srcDist[2] = {0, 0};
+        bool live = false;
+        bool issued = false;
+        bool committed = false;
+    };
+
+    /** Reset the per-cycle counters when the cycle advances. */
+    void
+    roll(uint64_t cycle)
+    {
+        if (cycle == curCycle_)
+            return;
+        curCycle_ = cycle;
+        commits_ = issues_ = dispatches_ = fetches_ = 0;
+        aluUsed_ = mulUsed_ = memUsed_ = 0;
+    }
+
+    template <typename... Args>
+    void
+    report(uint64_t cycle, const char *fmt, Args... args)
+    {
+        std::string msg = "cycle " + std::to_string(cycle) + ": " +
+                          detail::format(fmt, args...);
+        if (failFast_)
+            panic("invariant violation (config %s): %s",
+                  cfg_.name.c_str(), msg.c_str());
+        if (violations_.size() < kMaxViolations)
+            violations_.push_back(std::move(msg));
+    }
+
+    CoreConfig cfg_;
+    bool failFast_;
+    uint64_t awaken_;
+    uint64_t feStages_;
+    uint32_t mulUnits_;
+
+    std::vector<Rec> ring_;
+    uint64_t ringMask_ = 0;
+    uint64_t nextCommitSeq_ = 0;
+
+    uint64_t curCycle_ = UINT64_MAX;
+    uint32_t commits_ = 0, issues_ = 0, dispatches_ = 0, fetches_ = 0;
+    uint32_t aluUsed_ = 0, mulUsed_ = 0, memUsed_ = 0;
+
+    std::vector<std::string> violations_;
+};
+
+/** XPS_CHECK=1: attach a fail-fast checker to every simulate() run. */
+inline bool
+invariantCheckingForced()
+{
+    static const bool on = envInt("XPS_CHECK", 0) != 0;
+    return on;
+}
+
+} // namespace xps
+
+#endif // XPS_CHECK_INVARIANT_CHECKER_HH

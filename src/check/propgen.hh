@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Seeded property-based case generation for the differential checking
+ * tier (DESIGN.md §8). A PropCase is one machine-generated scenario:
+ * a random-but-legal CoreConfig (drawn through the exploration
+ * SearchSpace, so every case respects the cacti-lite fitting rules)
+ * paired with a random-but-valid WorkloadProfile and a small run
+ * budget. Cases serialize to a stable `key=value` text form — doubles
+ * as C99 hexfloats, so a replayed case is bit-identical — which is
+ * what the failure corpus under tests/prop_corpus/ stores.
+ *
+ * Shrinking: when a case fails a property, shrinkCase() greedily
+ * moves one field at a time toward a canonical baseline (the Table-3
+ * initial configuration and the default profile), keeping a candidate
+ * only when the property still fails, until no single-field move
+ * reproduces — a local minimum, i.e. every remaining deviation from
+ * the baseline is necessary to trigger the bug. shrinkDistance()
+ * (the number of fields away from baseline) is the monotonically
+ * decreasing measure.
+ */
+
+#ifndef XPS_CHECK_PROPGEN_HH
+#define XPS_CHECK_PROPGEN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "explore/search_space.hh"
+#include "sim/config.hh"
+#include "timing/unit_timing.hh"
+#include "util/rng.hh"
+#include "workload/profile.hh"
+
+namespace xps
+{
+
+/** One generated scenario: configuration + workload + run budget. */
+struct PropCase
+{
+    CoreConfig config;
+    WorkloadProfile profile;
+    uint64_t streamId = 0;
+    uint64_t measureInstrs = 2500;
+    uint64_t warmupInstrs = 2500;
+
+    /** Stable replayable text form (hexfloat doubles). */
+    std::string serialize() const;
+    /** Inverse of serialize(); fatal on a malformed/truncated case. */
+    static PropCase parse(const std::string &text);
+};
+
+/** Non-fatal mirror of WorkloadProfile::validate(). */
+bool profileValid(const WorkloadProfile &profile);
+
+/** Deterministic generator of random valid cases. */
+class PropGen
+{
+  public:
+    explicit PropGen(uint64_t seed);
+
+    /** Draw the next random case (config legal, profile valid). */
+    PropCase next();
+
+    const UnitTiming &timing() const { return timing_; }
+
+  private:
+    WorkloadProfile randomProfile();
+
+    UnitTiming timing_;
+    SearchSpace space_;
+    Rng rng_;
+    uint64_t count_ = 0;
+};
+
+/** A property over cases; returns true when the case passes. */
+using PropProperty = std::function<bool(const PropCase &)>;
+
+/** Fields-away-from-baseline measure used by the shrinker. */
+uint64_t shrinkDistance(const PropCase &c);
+
+/**
+ * Greedily shrink a failing case to a local minimum: the returned
+ * case still fails `passes`, has shrinkDistance() no larger than the
+ * input, and no legal single-field move toward the baseline fails.
+ * `max_evals` bounds the number of property evaluations.
+ */
+PropCase shrinkCase(const PropCase &failing, const PropProperty &passes,
+                    const UnitTiming &timing,
+                    uint64_t max_evals = 2000);
+
+} // namespace xps
+
+#endif // XPS_CHECK_PROPGEN_HH

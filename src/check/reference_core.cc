@@ -1,0 +1,97 @@
+#include "check/reference_core.hh"
+
+#include <algorithm>
+
+#include "workload/trace.hh"
+
+namespace xps
+{
+
+namespace
+{
+// Table-2 execution latencies, restated independently of OooCore so
+// the oracle cannot inherit a bug from the model under test.
+constexpr uint64_t kAgenCycles = 1;
+constexpr uint64_t kMulLatency = 4;
+} // namespace
+
+ReferenceCore::ReferenceCore(const CoreConfig &cfg,
+                             const Technology &tech)
+    : cfg_(cfg),
+      hierarchy_(cfg.l1Sets, cfg.l1Assoc, cfg.l1LineBytes,
+                 cfg.l1Cycles, cfg.l2Sets, cfg.l2Assoc,
+                 cfg.l2LineBytes, cfg.l2Cycles, cfg.memCycles(tech)),
+      predictor_(),
+      awaken_(static_cast<uint64_t>(cfg.awakenLatency())),
+      feStages_(static_cast<uint64_t>(cfg.frontEndStages(tech)))
+{
+}
+
+RefStats
+ReferenceCore::run(TraceCursor &trace, uint64_t measure,
+                   uint64_t warmup)
+{
+    hierarchy_.reset();
+    predictor_.reset();
+
+    // Functional warmup, byte-for-byte the same training OooCore
+    // performs: addresses through the hierarchy, outcomes through the
+    // predictor, no timing.
+    for (uint64_t i = 0; i < warmup; ++i) {
+        const MicroOp &op = trace.next();
+        switch (op.cls) {
+          case OpClass::Load:
+            hierarchy_.loadLatency(op.addr);
+            break;
+          case OpClass::Store:
+            hierarchy_.storeTouch(op.addr);
+            break;
+          case OpClass::CondBranch:
+            predictor_.predict(op.pc, op.taken);
+            break;
+          default:
+            break;
+        }
+    }
+
+    RefStats out;
+    out.cycles = feStages_; // initial front-end fill
+    for (uint64_t i = 0; i < measure; ++i) {
+        const MicroOp &op = trace.next();
+        ++out.instructions;
+        uint64_t lat = 1;
+        switch (op.cls) {
+          case OpClass::IntAlu:
+          case OpClass::Jump:
+            break;
+          case OpClass::IntMul:
+            lat = kMulLatency;
+            break;
+          case OpClass::Load:
+            ++out.loads;
+            lat = kAgenCycles + static_cast<uint64_t>(
+                hierarchy_.loadLatency(op.addr));
+            break;
+          case OpClass::Store:
+            ++out.stores;
+            lat = kAgenCycles;
+            hierarchy_.storeTouch(op.addr);
+            break;
+          case OpClass::CondBranch:
+            ++out.condBranches;
+            if (!predictor_.predict(op.pc, op.taken)) {
+                ++out.mispredicts;
+                // Squash and refill the whole front end.
+                out.cycles += feStages_ + 1;
+            }
+            break;
+        }
+        // One dispatch cycle plus the serialized execution latency;
+        // a pipelined scheduler cannot deliver a result to the next
+        // instruction faster than its wakeup loop.
+        out.cycles += 1 + std::max(lat, 1 + awaken_);
+    }
+    return out;
+}
+
+} // namespace xps

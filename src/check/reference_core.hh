@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The differential oracle: a deliberately simple in-order scalar core
+ * that replays the same micro-op trace as OooCore and produces two
+ * kinds of ground truth (DESIGN.md §8):
+ *
+ *  1. **Exact event counts.** Because OooCore fetches in trace order,
+ *     trains the identical tournament predictor at fetch, and commits
+ *     exactly `measure` instructions in program order, the committed
+ *     window is precisely trace positions [warmup, warmup + measure).
+ *     An independent in-order walk over those positions therefore
+ *     yields instruction / load / store / conditional-branch /
+ *     mispredict counts the out-of-order core must match *exactly* —
+ *     any drift means the commit-window accounting is broken.
+ *
+ *  2. **An IPC lower bound.** The reference core is fully serialized:
+ *     every instruction is charged one dispatch cycle plus the larger
+ *     of its full execution latency (loads probe a private copy of
+ *     the same cache hierarchy, in program order) and the scheduler
+ *     wakeup loop, and every mispredicted branch refills the whole
+ *     front end. No two latencies ever overlap, so a correct
+ *     out-of-order core of the same configuration can never be slower
+ *     — `ooo.cycles <= ref.cycles` is asserted by the differential
+ *     comparator across the fuzzed configuration space.
+ *
+ * The implementation intentionally shares no code with OooCore beyond
+ * the cache/predictor component models; its per-op latencies restate
+ * the Table-2 constants locally so a latency bug in the core cannot
+ * cancel out of the comparison.
+ */
+
+#ifndef XPS_CHECK_REFERENCE_CORE_HH
+#define XPS_CHECK_REFERENCE_CORE_HH
+
+#include <cstdint>
+
+#include "sim/cache.hh"
+#include "sim/config.hh"
+#include "workload/branch_predictor.hh"
+
+namespace xps
+{
+
+class TraceCursor;
+
+/** Ground truth produced by one reference replay. */
+struct RefStats
+{
+    uint64_t instructions = 0;
+    uint64_t loads = 0;
+    uint64_t stores = 0;
+    uint64_t condBranches = 0;
+    uint64_t mispredicts = 0;
+    /** Fully serialized cycle count (upper bound on any correct
+     *  pipelined execution of the same window). */
+    uint64_t cycles = 0;
+
+    double
+    ipc() const
+    {
+        return cycles == 0 ? 0.0 :
+            static_cast<double>(instructions) /
+            static_cast<double>(cycles);
+    }
+};
+
+/** In-order scalar oracle for one configuration. */
+class ReferenceCore
+{
+  public:
+    explicit ReferenceCore(const CoreConfig &cfg,
+                           const Technology &tech =
+                               Technology::defaultTech());
+
+    /**
+     * Replay `warmup` functional-warmup ops (identical to OooCore's
+     * warmup: cache and predictor training only) followed by
+     * `measure` measured ops. The cursor must be positioned at the
+     * start of the stream.
+     */
+    RefStats run(TraceCursor &trace, uint64_t measure,
+                 uint64_t warmup);
+
+  private:
+    CoreConfig cfg_;
+    MemoryHierarchy hierarchy_;
+    BranchPredictor predictor_;
+    uint64_t awaken_;
+    uint64_t feStages_;
+};
+
+} // namespace xps
+
+#endif // XPS_CHECK_REFERENCE_CORE_HH

@@ -4,16 +4,22 @@
 #include <bit>
 #include <type_traits>
 
+#include "check/invariant_checker.hh"
 #include "util/logging.hh"
 #include "workload/trace.hh"
 
 namespace xps
 {
 
+namespace testhooks
+{
+bool injectWakeupBug = false;
+}
+
 OooCore::OooCore(const CoreConfig &cfg, const Technology &tech)
     : cfg_(cfg), tech_(tech),
       feStages_(cfg.frontEndStages(tech)),
-      awaken_(cfg.awakenLatency()),
+      awaken_(testhooks::injectWakeupBug ? 0 : cfg.awakenLatency()),
       mulUnits_(std::max(1u, cfg.width / 3)),
       hierarchy_(cfg.l1Sets, cfg.l1Assoc, cfg.l1LineBytes, cfg.l1Cycles,
                  cfg.l2Sets, cfg.l2Assoc, cfg.l2LineBytes, cfg.l2Cycles,
@@ -210,6 +216,8 @@ OooCore::doCommit()
         Slot &s = rob_[robHead_ & robMask_];
         if (!s.issued || s.completeCycle > cycle_)
             break;
+        if (checker_) [[unlikely]]
+            checker_->onCommit(robHead_, cycle_);
         // Retirement can beat the scheduled wake when the awaken
         // latency exceeds the execution latency: a retired producer's
         // operands are available immediately.
@@ -317,6 +325,8 @@ OooCore::doIssue()
         s.wakeCycle = cycle_ + std::max<uint64_t>(
             static_cast<uint64_t>(lat),
             1ULL + static_cast<uint64_t>(awaken_));
+        if (checker_) [[unlikely]]
+            checker_->onIssue(seq, *s.op, cycle_, s.completeCycle);
         pushEvent(s.wakeCycle, seq, Event::Kind::ProducerWake);
         if (s.op->isStore() && !s.memWaiters.empty()) {
             for (uint64_t waiter : s.memWaiters) {
@@ -376,6 +386,8 @@ OooCore::doDispatch()
         s.wokeConsumers = false;
         s.consumers.clear();
         s.memWaiters.clear();
+        if (checker_) [[unlikely]]
+            checker_->onDispatch(seq, *s.op, cycle_, s.fetchCycle);
 
         // Resolve register sources once: count the pending producers
         // and register on their consumer lists.
@@ -435,6 +447,8 @@ OooCore::doFetch(Source &source)
         f.mispredict = op.cls == OpClass::CondBranch &&
                        !predictor_.predict(op.pc, op.taken);
         ++fetched;
+        if (checker_) [[unlikely]]
+            checker_->onFetch(cycle_);
         if (f.mispredict) {
             // Fetch stops until the branch resolves (trace-driven
             // misprediction model; no wrong path is simulated).
@@ -515,6 +529,8 @@ OooCore::runImpl(Source &source, uint64_t measure, uint64_t warmup)
     statL2Hits_ = statL2Misses_ = 0;
     statBranches_ = statMispredicts_ = 0;
     statRobOccSum_ = 0;
+    if (checker_) [[unlikely]]
+        checker_->onRunStart();
 
     // Functional warmup: stream addresses through the hierarchy and
     // outcomes through the predictor with no timing, so that large
@@ -548,6 +564,9 @@ OooCore::runImpl(Source &source, uint64_t measure, uint64_t warmup)
         if (moved == 0)
             skipIdle(); // jump a stall to its next trigger cycle
         statRobOccSum_ += robTail_ - robHead_;
+        if (checker_) [[unlikely]]
+            checker_->onCycleEnd(cycle_, robTail_ - robHead_,
+                                 iqCount_, lsqCount_);
         ++cycle_;
         if (cycle_ > cycle_guard)
             panic("OooCore: no forward progress after %llu cycles "

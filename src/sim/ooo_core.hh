@@ -72,6 +72,19 @@ namespace xps
 {
 
 class TraceCursor;
+class InvariantChecker;
+
+namespace testhooks
+{
+/**
+ * Fault injection for the checking subsystem's own tests: when set
+ * before an OooCore is constructed, the core wakes dependents at the
+ * producer's completion cycle even when the scheduler is pipelined
+ * (awaken latency silently dropped) — the class of timing bug the
+ * invariant checker exists to catch. Never set outside tests.
+ */
+extern bool injectWakeupBug;
+} // namespace testhooks
 
 /** One core executing one workload stream. */
 class OooCore
@@ -79,6 +92,14 @@ class OooCore
   public:
     OooCore(const CoreConfig &cfg,
             const Technology &tech = Technology::defaultTech());
+
+    /**
+     * Attach a structural invariant checker (src/check). The core
+     * reports dispatch/issue/commit/fetch events and end-of-cycle
+     * occupancies to it; a null checker (the default) costs one
+     * predicted branch per hook site. The checker must outlive runs.
+     */
+    void setChecker(InvariantChecker *checker) { checker_ = checker; }
 
     /**
      * Run the workload for `warmup` + `measure` committed
@@ -270,6 +291,7 @@ class OooCore
 
     CoreConfig cfg_;
     const Technology &tech_;
+    InvariantChecker *checker_ = nullptr;
 
     // Derived once per run.
     int feStages_;

@@ -1,5 +1,8 @@
 #include "sim/simulator.hh"
 
+#include <memory>
+
+#include "check/invariant_checker.hh"
 #include "sim/ooo_core.hh"
 #include "util/logging.hh"
 #include "workload/generator.hh"
@@ -13,6 +16,14 @@ simulate(const WorkloadProfile &profile, const CoreConfig &config,
          const SimOptions &opts)
 {
     OooCore core(config);
+    std::unique_ptr<InvariantChecker> owned;
+    if (opts.checker) {
+        core.setChecker(opts.checker);
+    } else if (opts.check || invariantCheckingForced()) {
+        owned = std::make_unique<InvariantChecker>(
+            config, /*fail_fast=*/true);
+        core.setChecker(owned.get());
+    }
     if (opts.trace) {
         const TraceBuffer &trace = *opts.trace;
         if (trace.fingerprint() != profileFingerprint(profile) ||

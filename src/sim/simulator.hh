@@ -19,6 +19,7 @@ namespace xps
 {
 
 class TraceBuffer;
+class InvariantChecker;
 
 /** Options for one simulation run. */
 struct SimOptions
@@ -40,6 +41,18 @@ struct SimOptions
      * simply leaving this null.
      */
     std::shared_ptr<const TraceBuffer> trace;
+
+    /**
+     * Structural invariant checking (src/check, DESIGN.md §8).
+     * `checker` attaches a caller-owned accumulating checker (the
+     * differential fuzzer inspects it after the run). When it is
+     * null, `check = true` — or XPS_CHECK=1 in the environment —
+     * makes simulate() run under an internal fail-fast checker that
+     * panics on the first violation. Default: no checking, and the
+     * core pays only a null-pointer test per hook site.
+     */
+    InvariantChecker *checker = nullptr;
+    bool check = false;
 
     uint64_t
     effectiveWarmup() const

@@ -31,13 +31,22 @@ envString(const char *name, const std::string &def)
 int
 resolveThreads(int requested)
 {
-    if (requested > 0)
-        return requested;
-    int n = static_cast<int>(envInt("XPS_THREADS", 0));
+    // A pool larger than this is never useful on the workloads we
+    // run and would only exhaust thread-creation limits; a huge
+    // request is almost certainly a typo'd XPS_THREADS.
+    constexpr int kMaxThreads = 4096;
+    int n = requested;
+    if (n <= 0)
+        n = static_cast<int>(envInt("XPS_THREADS", 0));
     if (n <= 0)
         n = static_cast<int>(std::thread::hardware_concurrency());
     if (n <= 0)
         n = 2; // hardware_concurrency may be unknowable
+    if (n > kMaxThreads) {
+        warn("resolveThreads: clamping %d worker threads to %d", n,
+             kMaxThreads);
+        n = kMaxThreads;
+    }
     return n;
 }
 

@@ -14,6 +14,14 @@
  *                        (0 disables checkpointing)
  *   XPS_METRICS_JSON     when set, dump the metrics registry to this
  *                        file at process exit (util/metrics.hh)
+ *   XPS_CHECK            1 = attach a fail-fast structural invariant
+ *                        checker to every simulate() run
+ *                        (check/invariant_checker.hh); default 0
+ *   XPS_FUZZ_ITERS       iterations of the differential fuzz tier
+ *                        (`ctest -L prop`); default 500
+ *   XPS_REGEN_GOLDEN     1 = golden_snapshot_test rewrites the
+ *                        committed tests/golden/ snapshots instead of
+ *                        comparing against them
  */
 
 #ifndef XPS_UTIL_ENV_HH

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Unit tests for src/check: the shadow-state invariant checker, the
+ * in-order reference oracle, the property-based case generator
+ * (validity, serialization round-trips, shrinking) and the
+ * differential comparator (DESIGN.md §8).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "check/differential.hh"
+#include "check/invariant_checker.hh"
+#include "check/propgen.hh"
+#include "check/reference_core.hh"
+#include "sim/simulator.hh"
+#include "workload/trace.hh"
+
+using namespace xps;
+
+namespace
+{
+
+MicroOp
+aluOp(uint32_t src_dist = 0)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    if (src_dist > 0) {
+        op.numSrcs = 1;
+        op.srcDist[0] = src_dist;
+    }
+    return op;
+}
+
+} // namespace
+
+// --- InvariantChecker ----------------------------------------------------
+
+TEST(InvariantChecker, CleanSequencePasses)
+{
+    CoreConfig cfg = CoreConfig::initial();
+    InvariantChecker chk(cfg);
+    chk.onRunStart();
+    const uint64_t fe =
+        static_cast<uint64_t>(cfg.frontEndStages(
+            Technology::defaultTech()));
+    chk.onFetch(0);
+    chk.onDispatch(0, aluOp(), fe, 0);
+    chk.onIssue(0, aluOp(), fe, fe + 1);
+    chk.onCommit(0, fe + 1);
+    chk.onCycleEnd(fe + 1, 0, 0, 0);
+    EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+TEST(InvariantChecker, CatchesOverWidthFetch)
+{
+    CoreConfig cfg = CoreConfig::initial();
+    InvariantChecker chk(cfg);
+    chk.onRunStart();
+    for (uint32_t i = 0; i <= cfg.width; ++i)
+        chk.onFetch(5);
+    EXPECT_FALSE(chk.ok());
+    EXPECT_NE(chk.summary().find("fetched"), std::string::npos);
+}
+
+TEST(InvariantChecker, CatchesRobOverflow)
+{
+    CoreConfig cfg = CoreConfig::initial();
+    InvariantChecker chk(cfg);
+    chk.onRunStart();
+    chk.onCycleEnd(1, cfg.robSize + 1, 0, 0);
+    EXPECT_FALSE(chk.ok());
+    EXPECT_NE(chk.summary().find("ROB occupancy"), std::string::npos);
+}
+
+TEST(InvariantChecker, CatchesOutOfOrderCommit)
+{
+    CoreConfig cfg = CoreConfig::initial();
+    InvariantChecker chk(cfg);
+    chk.onRunStart();
+    chk.onDispatch(0, aluOp(), 10, 0);
+    chk.onDispatch(1, aluOp(), 10, 0);
+    chk.onIssue(0, aluOp(), 11, 12);
+    chk.onIssue(1, aluOp(), 11, 12);
+    chk.onCommit(1, 13); // seq 1 before seq 0
+    EXPECT_FALSE(chk.ok());
+    EXPECT_NE(chk.summary().find("program order"), std::string::npos);
+}
+
+TEST(InvariantChecker, CatchesEarlyConsumerWakeup)
+{
+    CoreConfig cfg = CoreConfig::initial();
+    cfg.schedDepth = 3; // awaken latency 2
+    InvariantChecker chk(cfg);
+    chk.onRunStart();
+    chk.onDispatch(0, aluOp(), 10, 0);
+    chk.onDispatch(1, aluOp(1), 10, 0);
+    chk.onIssue(0, aluOp(), 11, 12);
+    // Legal wake is max(12, 11 + 1 + 2) = 14; issue at 12 is early.
+    chk.onIssue(1, aluOp(1), 12, 13);
+    EXPECT_FALSE(chk.ok());
+    EXPECT_NE(chk.summary().find("wakes dependents"),
+              std::string::npos);
+}
+
+TEST(InvariantChecker, AcceptsLegalConsumerWakeup)
+{
+    CoreConfig cfg = CoreConfig::initial();
+    cfg.schedDepth = 3;
+    InvariantChecker chk(cfg);
+    chk.onRunStart();
+    chk.onDispatch(0, aluOp(), 10, 0);
+    chk.onDispatch(1, aluOp(1), 10, 0);
+    chk.onIssue(0, aluOp(), 11, 12);
+    chk.onIssue(1, aluOp(1), 14, 15);
+    EXPECT_TRUE(chk.ok()) << chk.summary();
+}
+
+// --- simulate() integration ---------------------------------------------
+
+TEST(InvariantChecker, SimulateUnderCheckerMatchesUnchecked)
+{
+    const WorkloadProfile &prof = profileByName("gzip");
+    const CoreConfig cfg = CoreConfig::initial();
+    SimOptions opts;
+    opts.measureInstrs = 5000;
+    opts.warmupInstrs = 5000;
+    const SimStats plain = simulate(prof, cfg, opts);
+
+    InvariantChecker chk(cfg);
+    opts.checker = &chk;
+    const SimStats checked = simulate(prof, cfg, opts);
+
+    // Checking is observation only: bit-identical stats, no findings.
+    EXPECT_TRUE(chk.ok()) << chk.summary();
+    EXPECT_EQ(plain.cycles, checked.cycles);
+    EXPECT_EQ(plain.instructions, checked.instructions);
+    EXPECT_EQ(plain.mispredicts, checked.mispredicts);
+    EXPECT_EQ(plain.l1Misses, checked.l1Misses);
+}
+
+TEST(InvariantChecker, SimulateCheckFlagRunsClean)
+{
+    SimOptions opts;
+    opts.measureInstrs = 3000;
+    opts.warmupInstrs = 3000;
+    opts.check = true; // fail-fast checker: passing = no panic
+    const SimStats s =
+        simulate(profileByName("mcf"), CoreConfig::initial(), opts);
+    EXPECT_EQ(s.instructions, 3000u);
+}
+
+// --- ReferenceCore -------------------------------------------------------
+
+TEST(ReferenceCore, DominatedByOooCoreOnCalibratedProfiles)
+{
+    PropCase c;
+    c.config = CoreConfig::initial();
+    c.measureInstrs = 4000;
+    c.warmupInstrs = 4000;
+    for (const char *name : {"gzip", "mcf", "crafty"}) {
+        c.profile = profileByName(name);
+        const DiffResult r = runDifferentialCase(c);
+        EXPECT_TRUE(r.passed) << name << ": " << r.failure;
+        EXPECT_LE(r.ooo.cycles, r.ref.cycles);
+        EXPECT_EQ(r.ooo.mispredicts, r.ref.mispredicts);
+    }
+}
+
+TEST(ReferenceCore, Deterministic)
+{
+    const WorkloadProfile &prof = profileByName("vpr");
+    auto buf = std::make_shared<const TraceBuffer>(prof, 0, 6000);
+    ReferenceCore a(CoreConfig::initial());
+    ReferenceCore b(CoreConfig::initial());
+    TraceCursor ca(buf), cb(buf);
+    const RefStats ra = a.run(ca, 2000, 2000);
+    const RefStats rb = b.run(cb, 2000, 2000);
+    EXPECT_EQ(ra.cycles, rb.cycles);
+    EXPECT_EQ(ra.mispredicts, rb.mispredicts);
+    EXPECT_EQ(ra.instructions, 2000u);
+}
+
+// --- PropGen -------------------------------------------------------------
+
+TEST(PropGen, DeterministicForSeed)
+{
+    PropGen a(42), b(42);
+    for (int i = 0; i < 5; ++i)
+        EXPECT_EQ(a.next().serialize(), b.next().serialize());
+}
+
+TEST(PropGen, GeneratesValidCases)
+{
+    PropGen gen(7);
+    for (int i = 0; i < 20; ++i) {
+        const PropCase c = gen.next();
+        EXPECT_TRUE(profileValid(c.profile));
+        EXPECT_TRUE(c.config.checkFits(gen.timing()).empty());
+    }
+}
+
+TEST(PropCase, SerializeParseRoundTrip)
+{
+    PropGen gen(99);
+    for (int i = 0; i < 10; ++i) {
+        const PropCase c = gen.next();
+        const std::string text = c.serialize();
+        const PropCase back = PropCase::parse(text);
+        // Bit-exact round trip, doubles included (hexfloat).
+        EXPECT_EQ(back.serialize(), text);
+        EXPECT_TRUE(back.config.sameArch(c.config));
+        EXPECT_EQ(back.profile.seed, c.profile.seed);
+    }
+}
+
+TEST(PropCaseDeathTest, ParseRejectsTruncation)
+{
+    const std::string text = PropGen(1).next().serialize();
+    const std::string cut = text.substr(0, text.size() / 2);
+    EXPECT_EXIT(PropCase::parse(cut), testing::ExitedWithCode(1),
+                "prop case");
+}
+
+TEST(PropGen, ProfileValidRejectsBadMixes)
+{
+    WorkloadProfile p;
+    EXPECT_TRUE(profileValid(p));
+    p.fracLoad = 0.9; // mix sum > 1
+    EXPECT_FALSE(profileValid(p));
+    p = WorkloadProfile{};
+    p.fracHot = 0.7;
+    p.fracStream = 0.5; // hot + stream > 1
+    EXPECT_FALSE(profileValid(p));
+    p = WorkloadProfile{};
+    p.meanDepDistance = 0.5;
+    EXPECT_FALSE(profileValid(p));
+}
+
+// --- shrinking -----------------------------------------------------------
+
+TEST(Shrink, ReachesMinimalFailingCase)
+{
+    // Synthetic property: fails whenever fracLoad >= 0.3. Start from a
+    // case whose profile deviates everywhere; the shrunk case must
+    // keep only the one deviation that matters.
+    PropGen gen(5);
+    PropCase c = gen.next();
+    c.config = CoreConfig::initial(); // config already at baseline
+    c.profile.fracLoad = 0.34;
+    const PropProperty passes = [](const PropCase &pc) {
+        return pc.profile.fracLoad < 0.3;
+    };
+    ASSERT_FALSE(passes(c));
+
+    const PropCase minimal = shrinkCase(c, passes, gen.timing());
+    EXPECT_FALSE(passes(minimal));
+    EXPECT_GE(minimal.profile.fracLoad, 0.3);
+    // Everything else is back at baseline: only fracLoad differs.
+    EXPECT_EQ(shrinkDistance(minimal), 1u);
+    EXPECT_LT(shrinkDistance(minimal), shrinkDistance(c));
+}
+
+TEST(Shrink, FailingEverywherePropertyShrinksToBaselineBudget)
+{
+    PropGen gen(6);
+    const PropCase c = gen.next();
+    const PropProperty passes = [](const PropCase &) { return false; };
+    const PropCase minimal = shrinkCase(c, passes, gen.timing());
+    // With an always-failing property every legal move is taken;
+    // the run budget must land on the canonical minimum.
+    EXPECT_EQ(minimal.measureInstrs, 500u);
+    EXPECT_EQ(minimal.warmupInstrs, 0u);
+    EXPECT_EQ(minimal.streamId, 0u);
+}
+
+TEST(Shrink, Deterministic)
+{
+    PropGen gen(8);
+    PropCase c = gen.next();
+    const PropProperty passes = [](const PropCase &pc) {
+        return pc.config.robSize <= 64;
+    };
+    if (passes(c)) {
+        c.config.robSize = 256; // force a failure
+        c.config.iqSize = std::min(c.config.iqSize, 64u);
+    }
+    const PropCase a = shrinkCase(c, passes, gen.timing());
+    const PropCase b = shrinkCase(c, passes, gen.timing());
+    EXPECT_EQ(a.serialize(), b.serialize());
+    EXPECT_FALSE(passes(a));
+}
+
+// --- corpus --------------------------------------------------------------
+
+TEST(Corpus, MissingDirectoryIsEmpty)
+{
+    EXPECT_TRUE(loadCorpus("/nonexistent/xps_prop_corpus").empty());
+}
+
+TEST(Corpus, WriteAndReload)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     "xps_check_test_corpus";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    PropGen gen(3);
+    const PropCase c = gen.next();
+    {
+        std::ofstream out(dir / "a.case");
+        out << c.serialize();
+    }
+    const auto cases = loadCorpus(dir.string());
+    ASSERT_EQ(cases.size(), 1u);
+    EXPECT_EQ(cases[0].serialize(), c.serialize());
+    std::filesystem::remove_all(dir);
+}

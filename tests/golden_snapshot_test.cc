@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Golden SimStats regression: every calibrated benchmark profile is
+ * simulated on the Table-3 initial configuration and every counter is
+ * compared bit-exactly against the committed snapshot in
+ * tests/golden/simstats_initial.csv. Any timing-model change shows up
+ * here as an explicit, reviewable diff of the golden file.
+ *
+ * Regenerate after an intentional model change with
+ *
+ *     XPS_REGEN_GOLDEN=1 ./tests/golden_snapshot_test
+ *
+ * from the build tree (the test rewrites the snapshot in the source
+ * tree at the path compiled in below), then commit the new CSV.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hh"
+#include "util/csv.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "workload/profile.hh"
+
+using namespace xps;
+
+#ifndef XPS_GOLDEN_DIR
+#define XPS_GOLDEN_DIR "tests/golden"
+#endif
+
+namespace
+{
+
+constexpr uint64_t kMeasure = 20000;
+constexpr uint64_t kWarmup = 20000;
+
+const char *
+goldenPath()
+{
+    return XPS_GOLDEN_DIR "/simstats_initial.csv";
+}
+
+SimStats
+runProfile(const WorkloadProfile &prof)
+{
+    SimOptions opts;
+    opts.measureInstrs = kMeasure;
+    opts.warmupInstrs = kWarmup;
+    return simulate(prof, CoreConfig::initial(), opts);
+}
+
+std::vector<std::string>
+statsRow(const std::string &name, const SimStats &s)
+{
+    auto u = [](uint64_t v) { return std::to_string(v); };
+    return {name,           u(s.instructions), u(s.cycles),
+            u(s.condBranches), u(s.mispredicts), u(s.loads),
+            u(s.stores),    u(s.l1Hits),       u(s.l1Misses),
+            u(s.l2Hits),    u(s.l2Misses),     u(s.robOccupancySum)};
+}
+
+const std::vector<std::string> &
+goldenHeader()
+{
+    static const std::vector<std::string> header = {
+        "workload", "instructions", "cycles",   "condBranches",
+        "mispredicts", "loads",     "stores",   "l1Hits",
+        "l1Misses", "l2Hits",       "l2Misses", "robOccupancySum"};
+    return header;
+}
+
+} // namespace
+
+TEST(GoldenSnapshot, AllBenchmarksMatchCommittedStats)
+{
+    CsvDoc fresh;
+    fresh.header = goldenHeader();
+    for (const WorkloadProfile &prof : spec2000int())
+        fresh.rows.push_back(statsRow(prof.name, runProfile(prof)));
+
+    if (envInt("XPS_REGEN_GOLDEN", 0) != 0) {
+        writeCsv(goldenPath(), fresh);
+        inform("golden snapshot regenerated at %s — review and "
+               "commit the diff", goldenPath());
+        return;
+    }
+
+    CsvDoc golden;
+    ASSERT_TRUE(readCsv(goldenPath(), golden))
+        << "missing " << goldenPath()
+        << "; regenerate with XPS_REGEN_GOLDEN=1";
+    ASSERT_EQ(golden.header, fresh.header);
+    ASSERT_EQ(golden.rows.size(), fresh.rows.size());
+    for (size_t i = 0; i < fresh.rows.size(); ++i) {
+        for (size_t j = 0; j < fresh.header.size(); ++j) {
+            EXPECT_EQ(golden.rows[i][j], fresh.rows[i][j])
+                << fresh.rows[i][0] << "." << fresh.header[j]
+                << " drifted from the committed snapshot; if the "
+                   "timing-model change is intentional, regenerate "
+                   "with XPS_REGEN_GOLDEN=1 and commit the diff";
+        }
+    }
+}

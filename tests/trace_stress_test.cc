@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -51,8 +52,14 @@ TEST(TraceStress, ConcurrentGrowAndReplay)
                 }
                 if (prev) {
                     // Growth must preserve the prefix bit-for-bit.
-                    for (uint64_t i = 0; i < prev->size();
-                         i += prev->size() / 64 + 1) {
+                    // Compare only the overlap: the clearer thread
+                    // may have wiped the registry, and a regenerated
+                    // buffer sized for this round's request can be
+                    // shorter than a previously grown one.
+                    const uint64_t overlap =
+                        std::min(prev->size(), buf->size());
+                    for (uint64_t i = 0; i < overlap;
+                         i += overlap / 64 + 1) {
                         if (!(prev->ops()[i] == buf->ops()[i])) {
                             failed = true;
                             return;

@@ -413,6 +413,45 @@ TEST(Env, StringDefault)
     unsetenv("XPS_TEST_STR");
 }
 
+TEST(Env, ResolveThreadsExplicitRequestWins)
+{
+    setenv("XPS_THREADS", "3", 1);
+    EXPECT_EQ(resolveThreads(5), 5);
+    unsetenv("XPS_THREADS");
+}
+
+TEST(Env, ResolveThreadsUsesEnvWhenUnrequested)
+{
+    setenv("XPS_THREADS", "3", 1);
+    EXPECT_EQ(resolveThreads(0), 3);
+    EXPECT_EQ(resolveThreads(-4), 3); // negative request = unrequested
+    unsetenv("XPS_THREADS");
+}
+
+TEST(Env, ResolveThreadsIgnoresNonPositiveEnv)
+{
+    setenv("XPS_THREADS", "0", 1);
+    EXPECT_GE(resolveThreads(0), 1);
+    setenv("XPS_THREADS", "-2", 1);
+    EXPECT_GE(resolveThreads(0), 1);
+    unsetenv("XPS_THREADS");
+}
+
+TEST(Env, ResolveThreadsAlwaysPositive)
+{
+    unsetenv("XPS_THREADS");
+    EXPECT_GE(resolveThreads(0), 1);
+    EXPECT_GE(resolveThreads(-1000000), 1);
+}
+
+TEST(Env, ResolveThreadsClampsAbsurdCounts)
+{
+    EXPECT_EQ(resolveThreads(1 << 20), 4096);
+    setenv("XPS_THREADS", "999999999", 1);
+    EXPECT_EQ(resolveThreads(0), 4096);
+    unsetenv("XPS_THREADS");
+}
+
 TEST(Env, BudgetHasSaneDefaults)
 {
     const Budget &b = Budget::get();
