@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "explore/explorer.hh"
+#include "util/atomic_file.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
@@ -186,10 +187,18 @@ computeContext()
         opts.threads = budget.threads;
         opts.finalEvalInstrs = budget.finalInstrs;
         opts.checkpointEvery = budget.checkpointEvery;
+        if (budget.supervise) {
+            opts.supervised = true;
+            opts.supervisorOpts = SupervisorOptions::fromEnv();
+        }
         Explorer explorer(ctx.suite, opts);
         const auto results = explorer.exploreAll();
         for (const auto &r : results)
             ctx.configs.push_back(r.best);
+        if (budget.supervise)
+            atomicWriteFile(budget.resultsDir +
+                                "/supervisor_report.json",
+                            explorer.supervisorReport().toJson());
 
         storeTable4Cache(ctx.suite, ctx.configs);
         inform("cached customized configurations at %s",
@@ -205,12 +214,31 @@ computeContext()
                ctx.suite.size(), ctx.suite.size(),
                static_cast<unsigned long long>(budget.finalInstrs));
         ScopedTimer timer("pipeline.matrix_seconds");
-        const std::string partial = budget.checkpointEvery > 0
-            ? budget.resultsDir + "/checkpoints/table5_matrix.partial"
-            : std::string();
-        ctx.matrix = PerfMatrix::build(ctx.suite, ctx.configs,
-                                       budget.finalInstrs,
-                                       budget.threads, partial);
+        if (budget.supervise) {
+            Supervisor supervisor(SupervisorOptions::fromEnv());
+            std::vector<std::string> missing;
+            ctx.matrix = PerfMatrix::buildSupervised(
+                ctx.suite, ctx.configs, budget.finalInstrs,
+                supervisor, &missing);
+            supervisor.writeReport(budget.resultsDir +
+                                   "/matrix_supervisor_report.json");
+            if (!missing.empty()) {
+                // A degraded matrix (NaN rows) must not poison the
+                // result cache; rerun without the faulty rows'
+                // failures to fill it.
+                warn("matrix degraded (%zu quarantined rows); "
+                     "not caching", missing.size());
+                return ctx;
+            }
+        } else {
+            const std::string partial = budget.checkpointEvery > 0
+                ? budget.resultsDir +
+                      "/checkpoints/table5_matrix.partial"
+                : std::string();
+            ctx.matrix = PerfMatrix::build(ctx.suite, ctx.configs,
+                                           budget.finalInstrs,
+                                           budget.threads, partial);
+        }
         storeTable5Cache(ctx.suite, ctx.configs, ctx.matrix);
         inform("cached cross-configuration matrix at %s",
                table5CachePath().c_str());

@@ -4,17 +4,20 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <limits>
 #include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "explore/checkpoint.hh"
+#include "explore/supervisor.hh"
 #include "sim/simulator.hh"
 #include "util/atomic_file.hh"
 #include "util/csv.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "util/procpool.hh"
 #include "util/table.hh"
 #include "workload/trace.hh"
 
@@ -25,6 +28,72 @@ namespace
 {
 
 constexpr const char *kPartialMagic = "xps-matrix-partial v1";
+constexpr const char *kRowMagic = "xps-matrix-row v1";
+
+/** Serialize one finished row as a supervised worker result file:
+ *  magic, identity manifest, then exactly n `cell` lines. */
+std::string
+serializeMatrixRow(size_t w, const std::vector<double> &row,
+                   const CsvManifest &identity)
+{
+    std::ostringstream out;
+    out << kRowMagic << '\n';
+    for (const auto &[key, value] : identity.entries)
+        out << "m " << key << '=' << value << '\n';
+    out << "endm\n";
+    for (size_t c = 0; c < row.size(); ++c)
+        out << "cell " << w << ' ' << c << ' '
+            << formatHexDouble(row[c]) << '\n';
+    return out.str();
+}
+
+/** Strict inverse of serializeMatrixRow: every cell of row `w` must
+ *  be present exactly once under a matching manifest, else false —
+ *  the supervisor then treats the attempt as failed and retries. */
+bool
+parseMatrixRow(const std::string &content, size_t w, size_t n,
+               const CsvManifest &identity, std::vector<double> &row)
+{
+    std::istringstream in(content);
+    std::string line;
+    if (!std::getline(in, line) || line != kRowMagic)
+        return false;
+    CsvManifest found;
+    while (std::getline(in, line)) {
+        if (line == "endm")
+            break;
+        if (line.rfind("m ", 0) != 0)
+            return false;
+        const size_t eq = line.find('=', 2);
+        if (eq == std::string::npos)
+            return false;
+        found.entries.emplace_back(line.substr(2, eq - 2),
+                                   line.substr(eq + 1));
+    }
+    if (!(found == identity))
+        return false;
+    std::vector<double> vals(n, 0.0);
+    std::vector<bool> have(n, false);
+    size_t cells = 0;
+    while (std::getline(in, line)) {
+        std::istringstream fields(line);
+        std::string tag, value;
+        size_t rw = 0, c = 0;
+        if (!(fields >> tag >> rw >> c >> value) || tag != "cell" ||
+            rw != w || c >= n || have[c])
+            return false;
+        double v = 0.0;
+        if (!parseHexDouble(value, v))
+            return false;
+        vals[c] = v;
+        have[c] = true;
+        ++cells;
+    }
+    if (cells != n)
+        return false;
+    row = std::move(vals);
+    return true;
+}
 
 } // namespace
 
@@ -226,6 +295,89 @@ PerfMatrix::build(const std::vector<WorkloadProfile> &suite,
         std::fclose(partial);
         std::error_code ec;
         std::filesystem::remove(partialPath, ec);
+    }
+    return PerfMatrix(std::move(names), std::move(ipt));
+}
+
+PerfMatrix
+PerfMatrix::buildSupervised(const std::vector<WorkloadProfile> &suite,
+                            const std::vector<CoreConfig> &configs,
+                            uint64_t instrs, Supervisor &supervisor,
+                            std::vector<std::string> *missingRows)
+{
+    if (suite.size() != configs.size())
+        fatal("PerfMatrix::buildSupervised: %zu workloads vs %zu "
+              "configs", suite.size(), configs.size());
+    const size_t n = suite.size();
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (const auto &p : suite)
+        names.push_back(p.name);
+
+    const CsvManifest identity = partialIdentity(suite, configs,
+                                                 instrs);
+    // Rows a quarantined worker never published stay NaN — the
+    // completed matrix records them as missing instead of aborting.
+    std::vector<std::vector<double>> ipt(
+        n, std::vector<double>(
+               n, std::numeric_limits<double>::quiet_NaN()));
+
+    // Traces are materialized before the forks, so every worker
+    // inherits the shared read-only buffers instead of regenerating
+    // its stream per attempt.
+    SimOptions proto;
+    proto.measureInstrs = instrs;
+    std::vector<std::shared_ptr<const TraceBuffer>> traces;
+    traces.reserve(n);
+    for (const auto &p : suite)
+        traces.push_back(sharedTrace(p, proto.streamId,
+                                     proto.traceOps()));
+
+    std::vector<ProcJob> jobs;
+    jobs.reserve(n);
+    for (size_t w = 0; w < n; ++w) {
+        ProcJob job;
+        job.name = "matrix." + suite[w].name;
+        const std::string row_path =
+            supervisor.stagingPath(job.name + ".row");
+        job.run = [&, w, row_path]() {
+            std::vector<double> row(n, 0.0);
+            for (size_t c = 0; c < n; ++c) {
+                ProcPool::beat(); // per-cell liveness
+                SimOptions opts = proto;
+                opts.trace = traces[w];
+                row[c] = simulate(suite[w], configs[c], opts).ipt();
+            }
+            atomicWriteFile(row_path,
+                            serializeMatrixRow(w, row, identity),
+                            "cell.publish");
+            return 0;
+        };
+        job.onSuccess = [&, w, row_path]() {
+            std::string content;
+            std::vector<double> row;
+            if (!readFile(row_path, content) ||
+                !parseMatrixRow(content, w, n, identity, row))
+                return false;
+            ipt[w] = std::move(row);
+            Metrics::global()
+                .counter("perf_matrix.cells_computed").add(n);
+            std::error_code ec;
+            std::filesystem::remove(row_path, ec);
+            return true;
+        };
+        jobs.push_back(std::move(job));
+    }
+
+    const std::vector<ProcJobOutcome> outcomes = supervisor.run(jobs);
+    for (size_t w = 0; w < outcomes.size(); ++w) {
+        if (outcomes[w].status == ProcJobOutcome::Status::Quarantined) {
+            warn("perf matrix: row %s quarantined after %d attempts; "
+                 "its cells are recorded as missing",
+                 suite[w].name.c_str(), outcomes[w].attempts);
+            if (missingRows)
+                missingRows->push_back(suite[w].name);
+        }
     }
     return PerfMatrix(std::move(names), std::move(ipt));
 }

@@ -21,6 +21,8 @@
 namespace xps
 {
 
+class Supervisor;
+
 /**
  * IPT of workload w (row) on configuration c (column). Rows and
  * columns are indexed identically: column c is the configuration
@@ -52,6 +54,22 @@ class PerfMatrix
                             const std::vector<CoreConfig> &configs,
                             uint64_t instrs, int threads = 0,
                             const std::string &partialPath = "");
+
+    /**
+     * Build with one supervised worker process per row (DESIGN.md
+     * §9): each row is simulated in a forked child that publishes the
+     * finished row through an identity-validated atomic file, so a
+     * crashed or hung worker is retried without ever surfacing a torn
+     * cell, and the values are bit-identical to build(). A row whose
+     * job is quarantined is filled with NaN and its workload name is
+     * appended to `missingRows` (when non-null) — the matrix still
+     * completes (graceful degradation).
+     */
+    static PerfMatrix buildSupervised(
+        const std::vector<WorkloadProfile> &suite,
+        const std::vector<CoreConfig> &configs, uint64_t instrs,
+        Supervisor &supervisor,
+        std::vector<std::string> *missingRows = nullptr);
 
     /** Construct from precomputed values (row-major). */
     PerfMatrix(std::vector<std::string> names,

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -55,6 +56,8 @@ Explorer::Explorer(std::vector<WorkloadProfile> suite,
     opts_.threads = resolveThreads(opts_.threads);
     if (opts_.checkpointEvery > 0 && opts_.checkpointDir.empty())
         opts_.checkpointDir = Budget::get().resultsDir + "/checkpoints";
+    if (opts_.supervised && opts_.supervisorOpts.workers <= 0)
+        opts_.supervisorOpts.workers = opts_.threads;
 }
 
 double
@@ -117,14 +120,106 @@ Explorer::suiteCheckpointPath() const
     return opts_.checkpointDir + "/suite.ckpt";
 }
 
+SuiteWorkloadState
+Explorer::annealWorkloadRound(
+    size_t w, int round, const SuiteWorkloadState &in,
+    const CsvManifest &identity, uint64_t itersPerRound,
+    const std::shared_ptr<const TraceBuffer> &trace) const
+{
+    const bool ckpt = opts_.checkpointEvery > 0;
+    Metrics &metrics = Metrics::global();
+
+    std::unordered_map<std::string, double> memo(in.memo.begin(),
+                                                 in.memo.end());
+    uint64_t evals = in.evals;
+    uint64_t adoptions = in.adoptions;
+
+    auto objective = [&](const CoreConfig &cfg) {
+        ProcPool::beat(); // liveness for the supervised mode
+        const std::string key = archKey(cfg);
+        const auto it = memo.find(key);
+        if (it != memo.end())
+            return it->second;
+        const double ipt = evaluate(suite_[w], cfg, opts_.evalInstrs,
+                                    trace);
+        ++evals;
+        memo.emplace(key, ipt);
+        return ipt;
+    };
+
+    AnnealParams params;
+    params.iterations = itersPerRound;
+    params.seed = opts_.seed * 0x9e3779b97f4a7c15ULL +
+                  w * 1315423911ULL + static_cast<uint64_t>(round);
+    Annealer annealer(space_, objective, params);
+
+    AnnealerState st;
+    bool resumed = false;
+    if (ckpt) {
+        std::string content;
+        WorkloadCheckpoint wc;
+        if (readFile(workloadCheckpointPath(w), content) &&
+            parseWorkloadCheckpoint(content, identity, wc) &&
+            wc.round == round) {
+            st = std::move(wc.anneal);
+            memo.clear();
+            memo.insert(wc.memo.begin(), wc.memo.end());
+            evals = wc.evals;
+            adoptions = wc.adoptions;
+            resumed = true;
+            metrics.counter("checkpoint.workload_resumes").add();
+            verbose("explore[%s] resuming round %d at iteration %llu",
+                    suite_[w].name.c_str(), round,
+                    static_cast<unsigned long long>(st.iteration));
+        }
+    }
+    if (!resumed)
+        st = annealer.begin(in.current);
+
+    Annealer::CheckpointHook hook;
+    if (ckpt) {
+        hook = [&](const AnnealerState &snap) {
+            WorkloadCheckpoint wc;
+            wc.round = round;
+            wc.anneal = snap;
+            wc.evals = evals;
+            wc.adoptions = adoptions;
+            wc.memo = memoToVector(memo);
+            atomicWriteFile(workloadCheckpointPath(w),
+                            serializeWorkloadCheckpoint(wc, identity),
+                            "checkpoint.write");
+            metrics.counter("checkpoint.writes").add();
+            verbose("explore[%s] checkpoint: round %d iteration "
+                    "%llu/%llu", suite_[w].name.c_str(), round,
+                    static_cast<unsigned long long>(snap.iteration),
+                    static_cast<unsigned long long>(itersPerRound));
+            if (opts_.checkpointWrittenHook)
+                opts_.checkpointWrittenHook(workloadCheckpointPath(w));
+        };
+    }
+    annealer.resume(st, opts_.checkpointEvery, hook);
+
+    SuiteWorkloadState out;
+    out.current = st.result.best;
+    out.currentIpt = st.result.bestScore;
+    out.evals = evals;
+    out.adoptions = adoptions;
+    out.memo = memoToVector(memo);
+    return out;
+}
+
 std::vector<WorkloadResult>
 Explorer::exploreAll()
 {
     const size_t n = suite_.size();
     const bool ckpt = opts_.checkpointEvery > 0;
-    const CsvManifest identity = ckpt ? checkpointIdentity()
-                                      : CsvManifest{};
+    // The identity manifest also validates supervised worker result
+    // files, so it is needed whenever either machinery is on.
+    const CsvManifest identity = (ckpt || opts_.supervised)
+                                     ? checkpointIdentity()
+                                     : CsvManifest{};
     Metrics &metrics = Metrics::global();
+    supervisorReport_ = SupervisorReport{};
     const auto wall_start = std::chrono::steady_clock::now();
     auto elapsed_s = [&] {
         const std::chrono::duration<double> dt =
@@ -242,106 +337,142 @@ Explorer::exploreAll()
 
     if (anneal_rounds_remain) {
         ScopedTimer timer("explore.anneal_seconds");
+        std::unique_ptr<Supervisor> sup;
+        if (opts_.supervised)
+            sup = std::make_unique<Supervisor>(opts_.supervisorOpts);
+        // Workloads whose annealing job was quarantined: their
+        // configuration is frozen at the last completed round and the
+        // suite degrades gracefully instead of aborting.
+        std::vector<bool> frozen(n, false);
+
+        auto snapshotState = [&](size_t w) {
+            SuiteWorkloadState in;
+            in.current = current[w];
+            in.currentIpt = current_ipt[w];
+            in.evals = evals[w].load();
+            in.adoptions = adoptions[w];
+            in.memo = memoToVector(memo[w]);
+            return in;
+        };
+        auto installState = [&](size_t w, const SuiteWorkloadState &out) {
+            current[w] = out.current;
+            current_ipt[w] = out.currentIpt;
+            evals[w].store(out.evals);
+            adoptions[w] = out.adoptions;
+            memo[w] = std::unordered_map<std::string, double>(
+                out.memo.begin(), out.memo.end());
+        };
+
         for (int round = start_round; round < opts_.rounds; ++round) {
-            std::atomic<size_t> next{0};
-            std::atomic<size_t> done_count{0};
-            auto worker = [&]() {
-                for (size_t w = next.fetch_add(1); w < n;
-                     w = next.fetch_add(1)) {
-                    AnnealParams params;
-                    params.iterations = iters_per_round;
-                    params.seed = opts_.seed * 0x9e3779b97f4a7c15ULL +
-                                  w * 1315423911ULL +
-                                  static_cast<uint64_t>(round);
-                    Annealer annealer(
-                        space_,
-                        [&, w](const CoreConfig &cfg) {
-                            return cached_eval(w, cfg);
-                        },
-                        params);
-
-                    AnnealerState st;
-                    bool resumed = false;
-                    if (ckpt) {
+            if (!sup) {
+                // Thread pool: each workload is touched by exactly one
+                // worker, so snapshot/install need no locking.
+                std::atomic<size_t> next{0};
+                std::atomic<size_t> done_count{0};
+                auto worker = [&]() {
+                    for (size_t w = next.fetch_add(1); w < n;
+                         w = next.fetch_add(1)) {
+                        const SuiteWorkloadState out =
+                            annealWorkloadRound(w, round,
+                                                snapshotState(w),
+                                                identity,
+                                                iters_per_round,
+                                                traces[w]);
+                        installState(w, out);
+                        const size_t done = done_count.fetch_add(1) + 1;
+                        verbose("explore[%s] round %d: best IPT %.3f "
+                                "(%s)", suite_[w].name.c_str(), round,
+                                out.currentIpt,
+                                out.current.summary().c_str());
+                        inform("explore progress: round %d/%d, %zu/%zu "
+                               "workloads, %llu evaluations, %.1fs",
+                               round + 1, opts_.rounds, done, n,
+                               static_cast<unsigned long long>(
+                                   metrics
+                                       .counter("anneal.evaluations")
+                                       .get()),
+                               elapsed_s());
+                    }
+                };
+                std::vector<std::thread> pool;
+                const int nthreads =
+                    std::min<int>(opts_.threads, static_cast<int>(n));
+                pool.reserve(static_cast<size_t>(nthreads));
+                for (int t = 0; t < nthreads; ++t)
+                    pool.emplace_back(worker);
+                for (auto &t : pool)
+                    t.join();
+            } else {
+                // Supervised process pool: each workload-round runs in
+                // a forked worker that inherits the suite state by
+                // fork and publishes its post-round state through an
+                // identity-validated result file; a crashed or hung
+                // worker is retried (resuming from its checkpoint
+                // when one exists) and can never publish a torn cell.
+                std::vector<ProcJob> jobs;
+                std::vector<size_t> job_workload;
+                for (size_t w = 0; w < n; ++w) {
+                    if (frozen[w])
+                        continue;
+                    ProcJob job;
+                    job.name = suite_[w].name + ".round" +
+                               std::to_string(round);
+                    const std::string result_path =
+                        sup->stagingPath(job.name + ".result");
+                    const auto trace = traces[w];
+                    job.run = [this, w, round, identity,
+                               iters_per_round, trace, result_path,
+                               &snapshotState]() {
+                        const SuiteWorkloadState out =
+                            annealWorkloadRound(w, round,
+                                                snapshotState(w),
+                                                identity,
+                                                iters_per_round, trace);
+                        SuiteCheckpoint sc;
+                        sc.round = round;
+                        sc.workloads.push_back(out);
+                        atomicWriteFile(result_path,
+                                        serializeSuiteCheckpoint(
+                                            sc, identity),
+                                        "worker.result");
+                        return 0;
+                    };
+                    job.onSuccess = [this, w, round, identity,
+                                     result_path, &installState,
+                                     &elapsed_s]() {
                         std::string content;
-                        WorkloadCheckpoint wc;
-                        if (readFile(workloadCheckpointPath(w),
-                                     content) &&
-                            parseWorkloadCheckpoint(content, identity,
-                                                    wc) &&
-                            wc.round == round) {
-                            st = std::move(wc.anneal);
-                            memo[w].clear();
-                            memo[w].insert(wc.memo.begin(),
-                                           wc.memo.end());
-                            evals[w].store(wc.evals);
-                            adoptions[w] = wc.adoptions;
-                            resumed = true;
-                            metrics.counter(
-                                "checkpoint.workload_resumes").add();
-                            verbose("explore[%s] resuming round %d at "
-                                    "iteration %llu",
-                                    suite_[w].name.c_str(), round,
-                                    static_cast<unsigned long long>(
-                                        st.iteration));
-                        }
-                    }
-                    if (!resumed)
-                        st = annealer.begin(current[w]);
-
-                    Annealer::CheckpointHook hook;
-                    if (ckpt) {
-                        hook = [&, w,
-                                round](const AnnealerState &snap) {
-                            WorkloadCheckpoint wc;
-                            wc.round = round;
-                            wc.anneal = snap;
-                            wc.evals = evals[w].load();
-                            wc.adoptions = adoptions[w];
-                            wc.memo = memoToVector(memo[w]);
-                            atomicWriteFile(
-                                workloadCheckpointPath(w),
-                                serializeWorkloadCheckpoint(wc,
-                                                            identity));
-                            metrics.counter("checkpoint.writes").add();
-                            verbose("explore[%s] checkpoint: round %d "
-                                    "iteration %llu/%llu",
-                                    suite_[w].name.c_str(), round,
-                                    static_cast<unsigned long long>(
-                                        snap.iteration),
-                                    static_cast<unsigned long long>(
-                                        iters_per_round));
-                            if (opts_.checkpointWrittenHook)
-                                opts_.checkpointWrittenHook(
-                                    workloadCheckpointPath(w));
-                        };
-                    }
-                    annealer.resume(st, opts_.checkpointEvery, hook);
-
-                    current[w] = st.result.best;
-                    current_ipt[w] = st.result.bestScore;
-                    const size_t done = done_count.fetch_add(1) + 1;
-                    verbose("explore[%s] round %d: best IPT %.3f (%s)",
-                            suite_[w].name.c_str(), round,
-                            st.result.bestScore,
-                            st.result.best.summary().c_str());
-                    inform("explore progress: round %d/%d, %zu/%zu "
-                           "workloads, %llu evaluations, %.1fs",
-                           round + 1, opts_.rounds, done, n,
-                           static_cast<unsigned long long>(
-                               metrics.counter("anneal.evaluations")
-                                   .get()),
-                           elapsed_s());
+                        SuiteCheckpoint sc;
+                        if (!readFile(result_path, content) ||
+                            !parseSuiteCheckpoint(content, identity,
+                                                  sc) ||
+                            sc.round != round ||
+                            sc.workloads.size() != 1)
+                            return false;
+                        installState(w, sc.workloads[0]);
+                        std::error_code ec;
+                        std::filesystem::remove(result_path, ec);
+                        inform("explore progress: round %d/%d, %s "
+                               "merged, %.1fs", round + 1, opts_.rounds,
+                               suite_[w].name.c_str(), elapsed_s());
+                        return true;
+                    };
+                    jobs.push_back(std::move(job));
+                    job_workload.push_back(w);
                 }
-            };
-            std::vector<std::thread> pool;
-            const int nthreads =
-                std::min<int>(opts_.threads, static_cast<int>(n));
-            pool.reserve(static_cast<size_t>(nthreads));
-            for (int t = 0; t < nthreads; ++t)
-                pool.emplace_back(worker);
-            for (auto &t : pool)
-                t.join();
+                const std::vector<ProcJobOutcome> outcomes =
+                    sup->run(jobs);
+                for (size_t j = 0; j < outcomes.size(); ++j) {
+                    if (outcomes[j].status ==
+                        ProcJobOutcome::Status::Quarantined) {
+                        frozen[job_workload[j]] = true;
+                        warn("explore[%s]: round %d quarantined; "
+                             "freezing its configuration at the last "
+                             "completed round",
+                             suite_[job_workload[j]].name.c_str(),
+                             round);
+                    }
+                }
+            }
 
             // Cross-adoption (§4.1) *between* rounds: a workload that
             // performs clearly better on another workload's incumbent
@@ -378,6 +509,8 @@ Explorer::exploreAll()
             inform("exploration round %d/%d done", round + 1,
                    opts_.rounds);
         }
+        if (sup)
+            supervisorReport_ = sup->report();
     }
 
     // Final pass at the (longer) final evaluation length: score every

@@ -30,6 +30,7 @@
 #include "explore/annealer.hh"
 #include "explore/checkpoint.hh"
 #include "explore/search_space.hh"
+#include "explore/supervisor.hh"
 #include "sim/config.hh"
 #include "sim/simulator.hh"
 #include "workload/profile.hh"
@@ -68,8 +69,21 @@ struct ExplorerOptions
      *  $XPS_RESULTS_DIR/checkpoints when checkpointing is enabled. */
     std::string checkpointDir;
     /** Test-only fault-injection hook: called (possibly from worker
-     *  threads) after every checkpoint file write with its path. */
+     *  threads or processes) after every checkpoint file write with
+     *  its path. */
     std::function<void(const std::string &)> checkpointWrittenHook;
+
+    /** Run each per-workload annealing round in a forked, supervised
+     *  worker process (DESIGN.md §9) instead of a thread: crashes and
+     *  hangs are retried from the last checkpoint and a repeatedly
+     *  failing workload is quarantined (its configuration frozen)
+     *  rather than aborting the suite. Results are bit-identical to
+     *  the threaded mode. Enabled by XPS_SUPERVISE in the cached
+     *  experiment pipeline. */
+    bool supervised = false;
+    /** Supervision policy when `supervised` (workers defaults to
+     *  `threads` when <= 0). */
+    SupervisorOptions supervisorOpts;
 };
 
 /** One workload's exploration outcome. */
@@ -108,14 +122,32 @@ class Explorer
      *  checkpoints (budget, seeds, profile fingerprints, bounds). */
     CsvManifest checkpointIdentity() const;
 
+    /** Supervision outcome of the last supervised exploreAll():
+     *  crashes, hangs, retries, and quarantined workload-rounds.
+     *  Empty after a threaded run. */
+    const SupervisorReport &supervisorReport() const
+    {
+        return supervisorReport_;
+    }
+
   private:
     std::string workloadCheckpointPath(size_t w) const;
     std::string suiteCheckpointPath() const;
+
+    /** One workload's annealing round: resume from its checkpoint
+     *  when one matches, anneal, and return the post-round state.
+     *  Pure over `in` + files, so it runs identically on a worker
+     *  thread or inside a forked worker process. */
+    SuiteWorkloadState annealWorkloadRound(
+        size_t w, int round, const SuiteWorkloadState &in,
+        const CsvManifest &identity, uint64_t itersPerRound,
+        const std::shared_ptr<const TraceBuffer> &trace) const;
 
     std::vector<WorkloadProfile> suite_;
     ExplorerOptions opts_;
     UnitTiming timing_;
     SearchSpace space_;
+    SupervisorReport supervisorReport_;
 };
 
 } // namespace xps

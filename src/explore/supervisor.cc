@@ -1,0 +1,136 @@
+#include "explore/supervisor.hh"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "util/atomic_file.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace xps
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out.push_back(c);
+    }
+    return out;
+}
+
+} // namespace
+
+SupervisorOptions
+SupervisorOptions::fromEnv()
+{
+    SupervisorOptions opts;
+    opts.workers = Budget::get().threads;
+    opts.heartbeatTimeoutSeconds =
+        static_cast<double>(envUInt("XPS_HEARTBEAT_S", 30));
+    opts.jobDeadlineSeconds =
+        static_cast<double>(envUInt("XPS_JOB_DEADLINE_S", 0));
+    opts.maxAttempts =
+        1 + static_cast<int>(envUInt("XPS_JOB_RETRIES", 2));
+    return opts;
+}
+
+std::string
+SupervisorReport::toJson() const
+{
+    std::ostringstream out;
+    out << "{\n  \"worker_crashes\": " << crashes
+        << ",\n  \"worker_hangs\": " << hangs
+        << ",\n  \"job_retries\": " << retries
+        << ",\n  \"jobs_quarantined\": " << quarantined.size()
+        << ",\n  \"quarantined\": [";
+    for (size_t i = 0; i < quarantined.size(); ++i) {
+        out << (i ? "," : "") << "\n    {\"job\": \""
+            << jsonEscape(quarantined[i].name)
+            << "\", \"attempts\": " << quarantined[i].attempts
+            << ", \"last_error\": \""
+            << jsonEscape(quarantined[i].lastError) << "\"}";
+    }
+    out << (quarantined.empty() ? "" : "\n  ") << "]\n}\n";
+    return out.str();
+}
+
+Supervisor::Supervisor(SupervisorOptions opts) : opts_(opts)
+{
+    if (opts_.workDir.empty()) {
+        opts_.workDir = Budget::get().resultsDir + "/supervised." +
+                        std::to_string(static_cast<long>(::getpid()));
+    }
+}
+
+Supervisor::~Supervisor()
+{
+    // Leave nothing behind when every result file was merged; a
+    // non-empty directory (stray results of a degraded run) stays for
+    // the operator.
+    std::error_code ec;
+    if (std::filesystem::is_directory(opts_.workDir, ec) &&
+        std::filesystem::is_empty(opts_.workDir, ec))
+        std::filesystem::remove(opts_.workDir, ec);
+}
+
+std::string
+Supervisor::stagingPath(const std::string &file) const
+{
+    std::error_code ec;
+    std::filesystem::create_directories(opts_.workDir, ec);
+    return opts_.workDir + "/" + file;
+}
+
+std::vector<ProcJobOutcome>
+Supervisor::run(const std::vector<ProcJob> &jobs)
+{
+    ProcPoolOptions pool_opts;
+    pool_opts.workers = opts_.workers;
+    pool_opts.heartbeatTimeoutSeconds = opts_.heartbeatTimeoutSeconds;
+    pool_opts.maxAttempts = opts_.maxAttempts;
+    pool_opts.backoffBaseSeconds = opts_.backoffBaseSeconds;
+    pool_opts.backoffCapSeconds = opts_.backoffCapSeconds;
+    pool_opts.jitterSeed = opts_.jitterSeed;
+    ProcPool pool(pool_opts);
+    std::vector<ProcJob> batch = jobs;
+    if (opts_.jobDeadlineSeconds > 0) {
+        for (ProcJob &job : batch) {
+            if (job.deadlineSeconds <= 0)
+                job.deadlineSeconds = opts_.jobDeadlineSeconds;
+        }
+    }
+    const std::vector<ProcJobOutcome> outcomes = pool.run(batch);
+    for (size_t j = 0; j < outcomes.size(); ++j) {
+        const ProcJobOutcome &o = outcomes[j];
+        report_.crashes += static_cast<uint64_t>(o.crashes);
+        report_.hangs += static_cast<uint64_t>(o.hangs);
+        if (o.attempts > 1)
+            report_.retries += static_cast<uint64_t>(o.attempts - 1);
+        if (o.status == ProcJobOutcome::Status::Quarantined)
+            report_.quarantined.push_back(
+                {jobs[j].name, o.attempts, o.lastError});
+    }
+    return outcomes;
+}
+
+void
+Supervisor::writeReport(const std::string &path) const
+{
+    atomicWriteFile(path, report_.toJson());
+}
+
+} // namespace xps

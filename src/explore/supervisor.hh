@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Exploration-level supervision (DESIGN.md §9): a thin façade that
+ * binds the generic supervised worker pool (util/procpool.hh) to the
+ * exploration pipeline's conventions — environment-derived policy
+ * (XPS_SUPERVISE / XPS_HEARTBEAT_S / XPS_JOB_DEADLINE_S /
+ * XPS_JOB_RETRIES), a staging directory for worker result files, and
+ * a cumulative run report (crashes, hangs, retries, quarantined jobs)
+ * that callers embed in their results manifest. The Explorer and
+ * PerfMatrix::buildSupervised() both drive their forked jobs through
+ * one Supervisor so a long suite shares one policy and one report.
+ */
+
+#ifndef XPS_EXPLORE_SUPERVISOR_HH
+#define XPS_EXPLORE_SUPERVISOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/procpool.hh"
+
+namespace xps
+{
+
+/** Supervision policy plus staging location. */
+struct SupervisorOptions
+{
+    /** Concurrent workers (<=0: resolveThreads()). */
+    int workers = 0;
+    /** Kill a worker silent for this long (seconds, 0 = off). */
+    double heartbeatTimeoutSeconds = 30.0;
+    /** Wall-clock limit per job attempt (seconds, 0 = unlimited). */
+    double jobDeadlineSeconds = 0.0;
+    /** Attempts before quarantine (>= 1). */
+    int maxAttempts = 3;
+    double backoffBaseSeconds = 0.05;
+    double backoffCapSeconds = 2.0;
+    uint64_t jitterSeed = 1;
+    /** Staging directory for worker result files; empty resolves to
+     *  $XPS_RESULTS_DIR/supervised.<pid> (created on demand, removed
+     *  by the destructor when empty). */
+    std::string workDir;
+
+    /** Resolve policy from the environment knobs (util/env.hh). */
+    static SupervisorOptions fromEnv();
+};
+
+/** One abandoned job, as recorded in the run report. */
+struct QuarantinedJob
+{
+    std::string name;
+    int attempts = 0;
+    std::string lastError;
+};
+
+/** Cumulative supervision outcome of a run — the results manifest's
+ *  record that cells are missing and why, instead of an abort. */
+struct SupervisorReport
+{
+    uint64_t crashes = 0;
+    uint64_t hangs = 0;
+    uint64_t retries = 0;
+    std::vector<QuarantinedJob> quarantined;
+
+    std::string toJson() const;
+};
+
+/** The façade. One instance per supervised run. */
+class Supervisor
+{
+  public:
+    explicit Supervisor(SupervisorOptions opts = SupervisorOptions{});
+    ~Supervisor();
+
+    Supervisor(const Supervisor &) = delete;
+    Supervisor &operator=(const Supervisor &) = delete;
+
+    /** Run a batch on the pool; outcomes in job order. Failures and
+     *  quarantines accumulate into report(). */
+    std::vector<ProcJobOutcome> run(const std::vector<ProcJob> &jobs);
+
+    const SupervisorReport &report() const { return report_; }
+
+    /** Atomically write report().toJson() to `path`. */
+    void writeReport(const std::string &path) const;
+
+    /** The staging directory (created lazily by stagingPath). */
+    const std::string &workDir() const { return opts_.workDir; }
+
+    /** Absolute staging path for a worker result file. */
+    std::string stagingPath(const std::string &file) const;
+
+    const SupervisorOptions &options() const { return opts_; }
+
+  private:
+    SupervisorOptions opts_;
+    SupervisorReport report_;
+};
+
+} // namespace xps
+
+#endif // XPS_EXPLORE_SUPERVISOR_HH

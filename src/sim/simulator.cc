@@ -4,6 +4,7 @@
 
 #include "check/invariant_checker.hh"
 #include "sim/ooo_core.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "workload/generator.hh"
 #include "workload/trace.hh"
@@ -15,6 +16,7 @@ SimStats
 simulate(const WorkloadProfile &profile, const CoreConfig &config,
          const SimOptions &opts)
 {
+    XPS_FAULT_POINT("sim.run");
     OooCore core(config);
     std::unique_ptr<InvariantChecker> owned;
     if (opts.checker) {

@@ -1,16 +1,22 @@
 #include "util/atomic_file.hh"
 
 #include <fcntl.h>
+#include <signal.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cctype>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <sstream>
 
+#include "util/fault.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace xps
 {
@@ -40,10 +46,75 @@ fsyncPath(const std::string &path, bool directory)
     ::close(fd);
 }
 
+/** A per-call staging nonce: pids are recycled, so `.tmp.<pid>` alone
+ *  can collide with a dead writer's leftover. */
+uint32_t
+stagingNonce()
+{
+    static std::atomic<uint64_t> counter{0};
+    static const uint64_t seed = [] {
+        std::random_device rd;
+        return (static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+               static_cast<uint64_t>(::getpid());
+    }();
+    uint64_t x = seed + counter.fetch_add(0x9e3779b97f4a7c15ULL);
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<uint32_t>(x ^ (x >> 31));
+}
+
+/**
+ * Remove staging files for `path` whose writer is gone: a crash
+ * between staging and rename leaves `<path>.tmp.<pid>[.<nonce>]`
+ * behind forever otherwise. Only well-formed temp names whose pid no
+ * longer exists are touched — a live concurrent writer (kill(pid, 0)
+ * succeeds or yields EPERM) keeps its staging file.
+ */
+void
+sweepStaleTemps(const std::filesystem::path &target)
+{
+    std::error_code ec;
+    const std::filesystem::path dir = target.has_parent_path()
+                                          ? target.parent_path()
+                                          : std::filesystem::path(".");
+    const std::string prefix = target.filename().string() + ".tmp.";
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return;
+    for (const auto &entry : it) {
+        const std::string name = entry.path().filename().string();
+        if (name.rfind(prefix, 0) != 0)
+            continue;
+        const std::string rest = name.substr(prefix.size());
+        size_t digits = 0;
+        while (digits < rest.size() &&
+               std::isdigit(static_cast<unsigned char>(rest[digits])))
+            ++digits;
+        if (digits == 0 ||
+            (digits < rest.size() && rest[digits] != '.'))
+            continue; // not a name we generate
+        const long pid = std::strtol(rest.substr(0, digits).c_str(),
+                                     nullptr, 10);
+        if (pid <= 0 || pid == static_cast<long>(::getpid()))
+            continue;
+        if (::kill(static_cast<pid_t>(pid), 0) != 0 &&
+            errno == ESRCH) {
+            std::error_code rm_ec;
+            if (std::filesystem::remove(entry.path(), rm_ec)) {
+                verbose("atomicWriteFile: swept stale staging file %s",
+                        entry.path().c_str());
+                Metrics::global()
+                    .counter("atomic_file.stale_temps_swept").add();
+            }
+        }
+    }
+}
+
 } // namespace
 
 void
-atomicWriteFile(const std::string &path, const std::string &content)
+atomicWriteFile(const std::string &path, const std::string &content,
+                const char *faultSite)
 {
     const std::filesystem::path fs_path(path);
     if (fs_path.has_parent_path()) {
@@ -54,12 +125,34 @@ atomicWriteFile(const std::string &path, const std::string &content)
                   path.c_str(), ec.message().c_str());
     }
 
-    // A per-process temp name keeps concurrent writers of the same
-    // target from clobbering each other's staging file; the last
-    // rename wins with a complete file either way.
-    std::ostringstream tmp_name;
-    tmp_name << path << ".tmp." << ::getpid();
-    const std::string tmp = tmp_name.str();
+    if (faultSite) {
+        const fault::Kind kind = fault::fire(faultSite);
+        if (kind == fault::Kind::Enospc)
+            fatal("atomicWriteFile: write to %s failed: %s (injected "
+                  "at %s)", path.c_str(), std::strerror(ENOSPC),
+                  faultSite);
+        if (kind == fault::Kind::ShortWrite) {
+            // Model the failure atomicWriteFile exists to prevent: a
+            // non-atomic writer dying mid-write leaves the published
+            // file torn. Readers must reject or tolerate the tear.
+            std::ofstream torn(path,
+                               std::ios::trunc | std::ios::binary);
+            torn.write(content.data(), static_cast<std::streamsize>(
+                                           content.size() / 2));
+            torn.flush();
+            ::_exit(fault::kCrashExitCode);
+        }
+    }
+
+    sweepStaleTemps(fs_path);
+
+    // Pid plus random nonce: concurrent writers of the same target
+    // never clobber each other's staging file, even across pid reuse;
+    // the last rename wins with a complete file either way.
+    char suffix[40];
+    std::snprintf(suffix, sizeof(suffix), ".tmp.%d.%08x",
+                  static_cast<int>(::getpid()), stagingNonce());
+    const std::string tmp = path + suffix;
 
     {
         std::ofstream out(tmp, std::ios::trunc | std::ios::binary);

@@ -17,12 +17,23 @@ namespace xps
 {
 
 /**
- * Atomically replace `path` with `content`: write `path.tmp.<pid>`,
- * fsync it, rename it over `path`, and fsync the parent directory so
- * the rename itself survives a power cut. Parent directories are
- * created as needed. fatal() on any I/O error.
+ * Atomically replace `path` with `content`: write a staging sibling
+ * `path.tmp.<pid>.<nonce>`, fsync it, rename it over `path`, and
+ * fsync the parent directory so the rename itself survives a power
+ * cut. The random nonce keeps a recycled pid from colliding with a
+ * dead writer's staging file; staging files left behind by writers
+ * that crashed mid-call (their pid no longer exists) are swept before
+ * staging. Parent directories are created as needed. fatal() on any
+ * I/O error.
+ *
+ * `faultSite`, when non-null, names a fault-injection site visited
+ * before the write (util/fault.hh): an armed `shortwrite` tears the
+ * published file and dies, an armed `enospc` fails the write as if
+ * the disk were full. Production callers on supervised paths pass
+ * their site name; everyone else pays nothing (nullptr).
  */
-void atomicWriteFile(const std::string &path, const std::string &content);
+void atomicWriteFile(const std::string &path, const std::string &content,
+                     const char *faultSite = nullptr);
 
 /** Read a whole file into `out`; false if it cannot be opened. */
 bool readFile(const std::string &path, std::string &out);

@@ -22,6 +22,24 @@
  *   XPS_REGEN_GOLDEN     1 = golden_snapshot_test rewrites the
  *                        committed tests/golden/ snapshots instead of
  *                        comparing against them
+ *   XPS_SUPERVISE        1 = run annealing jobs and PerfMatrix rows
+ *                        in a supervised process-isolated worker pool
+ *                        (util/procpool.hh) instead of raw threads;
+ *                        default 0
+ *   XPS_HEARTBEAT_S      seconds without a worker heartbeat before
+ *                        the supervisor kills it as hung (default 30,
+ *                        0 disables hang detection)
+ *   XPS_JOB_DEADLINE_S   wall-clock limit per supervised job attempt
+ *                        in seconds (default 0 = unlimited)
+ *   XPS_JOB_RETRIES      retries after the first failed attempt
+ *                        before a supervised job is quarantined
+ *                        (default 2, i.e. three attempts total)
+ *   XPS_FAULTS           deterministic fault schedule,
+ *                        "site:kind:nth[:seed],..." (util/fault.hh)
+ *
+ * Malformed numeric values (garbage, overflow, and negatives where a
+ * count is expected) warn once and fall back to the documented
+ * default — a typo'd knob degrades a run instead of crashing it.
  */
 
 #ifndef XPS_UTIL_ENV_HH
@@ -33,8 +51,14 @@
 namespace xps
 {
 
-/** Read an integer environment variable with a default. */
+/** Read an integer environment variable with a default. Malformed or
+ *  overflowing values warn once and yield the default. */
 int64_t envInt(const char *name, int64_t def);
+
+/** Read a non-negative integer environment variable with a default.
+ *  Malformed, overflowing, or negative values warn once and yield the
+ *  default. */
+uint64_t envUInt(const char *name, uint64_t def);
 
 /** Read a string environment variable with a default. */
 std::string envString(const char *name, const std::string &def);
@@ -59,6 +83,9 @@ struct Budget
     /** Annealing iterations between checkpoint writes in the cached
      *  experiment pipeline (0 = checkpointing off). */
     uint64_t checkpointEvery;
+    /** Run exploration and matrix builds on the supervised
+     *  process-isolated worker pool (XPS_SUPERVISE). */
+    bool supervise;
 
     /** Resolve from the environment (with defaults from DESIGN.md). */
     static const Budget &get();

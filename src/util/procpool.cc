@@ -1,0 +1,284 @@
+#include "util/procpool.hh"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+
+#include "util/env.hh"
+#include "util/fault.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace xps
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+double
+seconds(Clock::duration d)
+{
+    return std::chrono::duration<double>(d).count();
+}
+
+/* Child-side heartbeat state, set up right after fork. */
+int g_beat_fd = -1;
+Clock::time_point g_last_beat;
+double g_beat_interval = 0.05;
+
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ULL;
+    for (const char c : s)
+        h = (h ^ static_cast<unsigned char>(c)) * 1099511628211ULL;
+    return h;
+}
+
+} // namespace
+
+ProcPool::ProcPool(ProcPoolOptions opts) : opts_(opts)
+{
+    if (opts_.maxAttempts < 1)
+        fatal("ProcPool: maxAttempts must be >= 1 (got %d)",
+              opts_.maxAttempts);
+    opts_.workers = resolveThreads(opts_.workers);
+}
+
+void
+ProcPool::beat()
+{
+    if (g_beat_fd < 0)
+        return;
+    const auto now = Clock::now();
+    if (seconds(now - g_last_beat) < g_beat_interval)
+        return;
+    g_last_beat = now;
+    // The write end is non-blocking: if the supervisor has not
+    // drained the pipe a skipped beat is harmless (the byte already
+    // in the buffer proves liveness).
+    [[maybe_unused]] const ssize_t n = ::write(g_beat_fd, "b", 1);
+}
+
+std::vector<ProcJobOutcome>
+ProcPool::run(const std::vector<ProcJob> &jobs)
+{
+    struct Active
+    {
+        size_t job;
+        pid_t pid;
+        int pipeRd;
+        Clock::time_point start;
+        Clock::time_point lastBeat;
+    };
+    struct Pending
+    {
+        size_t job;
+        Clock::time_point readyAt;
+    };
+
+    std::vector<ProcJobOutcome> outcomes(jobs.size());
+    std::deque<Pending> pending;
+    for (size_t j = 0; j < jobs.size(); ++j)
+        pending.push_back({j, Clock::now()});
+    std::vector<Active> active;
+    Metrics &metrics = Metrics::global();
+
+    // A failed attempt either requeues with backoff or quarantines.
+    auto failAttempt = [&](size_t j, bool hang, const std::string &why) {
+        ProcJobOutcome &o = outcomes[j];
+        (hang ? o.hangs : o.crashes) += 1;
+        metrics.counter(hang ? "supervisor.worker_hangs"
+                             : "supervisor.worker_crashes").add();
+        o.lastError = why;
+        if (o.attempts >= opts_.maxAttempts) {
+            o.status = ProcJobOutcome::Status::Quarantined;
+            metrics.counter("supervisor.jobs_quarantined").add();
+            warn("procpool: quarantining job '%s' after %d attempts "
+                 "(last failure: %s)", jobs[j].name.c_str(), o.attempts,
+                 why.c_str());
+            return;
+        }
+        const int exponent = std::min(o.attempts - 1, 20);
+        double backoff = std::min(
+            opts_.backoffCapSeconds,
+            opts_.backoffBaseSeconds *
+                static_cast<double>(1ull << exponent));
+        const uint64_t r = mix64(opts_.jitterSeed ^ fnv1a(jobs[j].name) ^
+                                 static_cast<uint64_t>(o.attempts));
+        backoff += backoff * 0.25 *
+                   (static_cast<double>(r >> 11) * 0x1.0p-53);
+        metrics.counter("supervisor.job_retries").add();
+        metrics.addSeconds("supervisor.backoff_seconds", backoff);
+        pending.push_back(
+            {j, Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(backoff))});
+        warn("procpool: job '%s' failed (%s); retry %d/%d in %.0f ms",
+             jobs[j].name.c_str(), why.c_str(), o.attempts,
+             opts_.maxAttempts - 1, backoff * 1e3);
+    };
+
+    auto spawn = [&](size_t j) {
+        int pipe_fds[2];
+        if (::pipe(pipe_fds) != 0)
+            fatal("procpool: pipe: %s", std::strerror(errno));
+        ::fcntl(pipe_fds[0], F_SETFL, O_NONBLOCK);
+        ::fcntl(pipe_fds[1], F_SETFL, O_NONBLOCK);
+        // The child inherits copies of unflushed stdio buffers; flush
+        // so nothing is emitted twice.
+        std::fflush(nullptr);
+        const pid_t pid = ::fork();
+        if (pid < 0)
+            fatal("procpool: fork: %s", std::strerror(errno));
+        if (pid == 0) {
+            ::close(pipe_fds[0]);
+#ifdef __linux__
+            // Orphaned workers must not outlive a killed supervisor
+            // and race a resumed run for the checkpoint files.
+            ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+            // A fatal() in the child exits through atexit handlers;
+            // the inherited metrics dump must not clobber the
+            // parent's XPS_METRICS_JSON with a partial child view.
+            ::unsetenv("XPS_METRICS_JSON");
+            g_beat_fd = pipe_fds[1];
+            g_last_beat = Clock::now();
+            g_beat_interval = opts_.heartbeatTimeoutSeconds > 0
+                                  ? opts_.heartbeatTimeoutSeconds / 8.0
+                                  : 0.05;
+            XPS_FAULT_POINT("worker.start");
+            int rc = 125;
+            try {
+                rc = jobs[j].run();
+            } catch (...) {
+                rc = 125;
+            }
+            ::_exit(rc & 0xff);
+        }
+        ::close(pipe_fds[1]);
+        const auto now = Clock::now();
+        active.push_back({j, pid, pipe_fds[0], now, now});
+    };
+
+    // Reap one active slot whose child exited on its own.
+    auto handleExit = [&](size_t slot, int status) {
+        const Active a = active[slot];
+        active.erase(active.begin() + static_cast<long>(slot));
+        ::close(a.pipeRd);
+        ProcJobOutcome &o = outcomes[a.job];
+        o.attempts += 1;
+        if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+            if (jobs[a.job].onSuccess && !jobs[a.job].onSuccess()) {
+                failAttempt(a.job, false,
+                            "result rejected by the merge step");
+                return;
+            }
+            o.status = ProcJobOutcome::Status::Done;
+            return;
+        }
+        std::string why;
+        if (WIFSIGNALED(status))
+            why = "killed by signal " + std::to_string(WTERMSIG(status));
+        else
+            why = "exit code " + std::to_string(WEXITSTATUS(status));
+        failAttempt(a.job, false, why);
+    };
+
+    while (!pending.empty() || !active.empty()) {
+        const auto now = Clock::now();
+        // Launch ready jobs into free slots.
+        for (auto it = pending.begin();
+             it != pending.end() &&
+             active.size() < static_cast<size_t>(opts_.workers);) {
+            if (it->readyAt <= now) {
+                spawn(it->job);
+                it = pending.erase(it);
+            } else {
+                ++it;
+            }
+        }
+
+        // Wait for beats / exits; 20 ms bounds hang-detection and
+        // backoff latency without measurable supervisor CPU.
+        if (!active.empty()) {
+            std::vector<pollfd> fds;
+            fds.reserve(active.size());
+            for (const Active &a : active)
+                fds.push_back({a.pipeRd, POLLIN, 0});
+            ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 20);
+            const auto t = Clock::now();
+            for (size_t i = 0; i < active.size(); ++i) {
+                if (!(fds[i].revents & POLLIN))
+                    continue;
+                char buf[256];
+                while (::read(active[i].pipeRd, buf, sizeof(buf)) > 0) {
+                }
+                active[i].lastBeat = t;
+            }
+        } else {
+            ::usleep(2 * 1000); // everyone is backing off
+        }
+
+        // Reap exits and kill hangs / blown deadlines.
+        const auto t = Clock::now();
+        for (size_t i = 0; i < active.size();) {
+            int status = 0;
+            const pid_t r = ::waitpid(active[i].pid, &status, WNOHANG);
+            if (r == active[i].pid) {
+                handleExit(i, status);
+                continue;
+            }
+            const double quiet = seconds(t - active[i].lastBeat);
+            const double age = seconds(t - active[i].start);
+            const double hb = opts_.heartbeatTimeoutSeconds;
+            const double dl = jobs[active[i].job].deadlineSeconds;
+            const bool hung = hb > 0 && quiet > hb;
+            const bool late = dl > 0 && age > dl;
+            if (!hung && !late) {
+                ++i;
+                continue;
+            }
+            const Active a = active[i];
+            active.erase(active.begin() + static_cast<long>(i));
+            ::kill(a.pid, SIGKILL);
+            ::waitpid(a.pid, &status, 0);
+            ::close(a.pipeRd);
+            outcomes[a.job].attempts += 1;
+            char why[96];
+            if (hung)
+                std::snprintf(why, sizeof(why),
+                              "no heartbeat for %.2f s (limit %.2f s)",
+                              quiet, hb);
+            else
+                std::snprintf(why, sizeof(why),
+                              "deadline of %.2f s exceeded", dl);
+            failAttempt(a.job, true, why);
+        }
+    }
+    return outcomes;
+}
+
+} // namespace xps

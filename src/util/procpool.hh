@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Supervised process-isolated worker pool (DESIGN.md §9). Jobs run in
+ * forked child processes instead of raw std::threads, so a worker
+ * that segfaults, fatals, or hangs takes down only its own attempt:
+ *
+ *  - every worker gets a heartbeat pipe back to the supervisor; the
+ *    job's inner loops call ProcPool::beat() (a rate-limited one-byte
+ *    write, a no-op outside a worker) and a worker whose beats stop
+ *    for longer than the heartbeat timeout is SIGKILLed and counted
+ *    as a hang;
+ *  - every attempt has an optional wall-clock deadline (0 = none);
+ *  - a crashed (non-zero exit or signal) or hung attempt is requeued
+ *    with capped exponential backoff plus deterministic jitter;
+ *  - after maxAttempts failures the job is QUARANTINED — recorded in
+ *    the outcome (and the supervisor.jobs_quarantined counter) while
+ *    the rest of the batch keeps running: graceful degradation, never
+ *    a six-hour suite aborted by one bad cell.
+ *
+ * Results cross the process boundary through files the job writes
+ * itself (the atomicWriteFile path), validated by the parent-side
+ * `onSuccess` merge callback; a merge that returns false counts as a
+ * failed attempt. A killed worker therefore can never publish a torn
+ * result.
+ *
+ * The supervisor loop is single-threaded and must be entered with no
+ * live worker std::threads (fork + threads do not mix); all explore/
+ * comm callers satisfy this by construction.
+ *
+ * Metrics: supervisor.worker_crashes, supervisor.worker_hangs,
+ * supervisor.job_retries, supervisor.jobs_quarantined, and
+ * supervisor.backoff_seconds land in XPS_METRICS_JSON /
+ * BENCH_results.json via util/metrics.
+ */
+
+#ifndef XPS_UTIL_PROCPOOL_HH
+#define XPS_UTIL_PROCPOOL_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace xps
+{
+
+/** One unit of supervised work. */
+struct ProcJob
+{
+    std::string name; ///< for logs, metrics and backoff jitter
+
+    /** Runs in the forked child; the return value is the child's exit
+     *  code (0 = success). Publish results to files before returning
+     *  — child memory is gone afterwards. */
+    std::function<int()> run;
+
+    /** Parent-side merge/validation, called after a zero exit; return
+     *  false to reject the attempt (it is retried like a crash).
+     *  Optional. */
+    std::function<bool()> onSuccess;
+
+    /** Wall-clock limit per attempt in seconds; 0 = unlimited. */
+    double deadlineSeconds = 0.0;
+};
+
+/** Supervision policy. */
+struct ProcPoolOptions
+{
+    /** Concurrent workers (<=0: resolveThreads(), i.e. XPS_THREADS
+     *  else the hardware concurrency). */
+    int workers = 0;
+    /** Kill a worker whose heartbeats stop for this long (seconds);
+     *  0 disables hang detection (deadlines still apply). */
+    double heartbeatTimeoutSeconds = 30.0;
+    /** Attempts before a job is quarantined (>= 1). */
+    int maxAttempts = 3;
+    double backoffBaseSeconds = 0.05; ///< first-retry backoff
+    double backoffCapSeconds = 2.0;   ///< exponential backoff cap
+    uint64_t jitterSeed = 1; ///< deterministic backoff jitter seed
+};
+
+/** What happened to one job across all its attempts. */
+struct ProcJobOutcome
+{
+    enum class Status
+    {
+        Done,        ///< an attempt succeeded and merged
+        Quarantined, ///< maxAttempts failures; job abandoned
+    };
+    Status status = Status::Done;
+    int attempts = 0; ///< attempts consumed (completed or killed)
+    int crashes = 0;  ///< non-zero exits, signals, rejected merges
+    int hangs = 0;    ///< heartbeat or deadline kills
+    std::string lastError; ///< human-readable cause of the last failure
+};
+
+/** The supervised pool. Stateless between run() calls. */
+class ProcPool
+{
+  public:
+    explicit ProcPool(ProcPoolOptions opts = ProcPoolOptions{});
+
+    /** Run every job to Done or Quarantined; outcomes in job order.
+     *  Never throws on worker failure — supervision is the point. */
+    std::vector<ProcJobOutcome> run(const std::vector<ProcJob> &jobs);
+
+    /** Child-side heartbeat; call from job inner loops. Rate-limited
+     *  internally and a no-op when not inside a worker process. */
+    static void beat();
+
+    const ProcPoolOptions &options() const { return opts_; }
+
+  private:
+    ProcPoolOptions opts_;
+};
+
+} // namespace xps
+
+#endif // XPS_UTIL_PROCPOOL_HH

@@ -1,0 +1,540 @@
+/**
+ * @file
+ * The supervised worker-pool battery (DESIGN.md §9): ProcPool crash /
+ * hang / deadline / merge-rejection handling with retry and
+ * quarantine, graceful degradation when every job fails, supervised
+ * exploration and matrix builds bit-identical to their threaded
+ * counterparts, and SIGKILL-the-supervisor + resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "comm/perf_matrix.hh"
+#include "explore/explorer.hh"
+#include "explore/supervisor.hh"
+#include "util/atomic_file.hh"
+#include "util/metrics.hh"
+#include "util/procpool.hh"
+#include "util/rng.hh"
+
+using namespace xps;
+
+namespace
+{
+
+std::string
+freshDir(const std::string &tag)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("xps_sup_" + tag + "_" +
+                      std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+/** Fast-failing pool policy so the retry paths run in milliseconds. */
+ProcPoolOptions
+fastPool(int workers = 2)
+{
+    ProcPoolOptions opts;
+    opts.workers = workers;
+    opts.heartbeatTimeoutSeconds = 0.3;
+    opts.maxAttempts = 3;
+    opts.backoffBaseSeconds = 0.01;
+    opts.backoffCapSeconds = 0.05;
+    return opts;
+}
+
+bool
+fileExists(const std::string &path)
+{
+    return std::filesystem::exists(path);
+}
+
+void
+touch(const std::string &path)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << "x";
+}
+
+ExplorerOptions
+miniOpts(uint64_t seed)
+{
+    ExplorerOptions opts;
+    opts.evalInstrs = 4000;
+    opts.saIters = 24;
+    opts.rounds = 2;
+    opts.threads = 1;
+    opts.seed = seed;
+    opts.finalEvalInstrs = 8000;
+    return opts;
+}
+
+std::vector<WorkloadProfile>
+miniSuite()
+{
+    return {profileByName("gzip"), profileByName("mcf")};
+}
+
+SupervisorOptions
+fastSupervisor(const std::string &workDir)
+{
+    SupervisorOptions opts;
+    opts.workers = 2;
+    opts.heartbeatTimeoutSeconds = 5.0; // generous; hangs are injected
+    opts.maxAttempts = 3;
+    opts.backoffBaseSeconds = 0.01;
+    opts.backoffCapSeconds = 0.05;
+    opts.workDir = workDir;
+    return opts;
+}
+
+void
+expectResultsIdentical(const std::vector<WorkloadResult> &a,
+                       const std::vector<WorkloadResult> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].workload, b[i].workload);
+        EXPECT_TRUE(a[i].best.sameArch(b[i].best))
+            << a[i].best.summary() << " vs " << b[i].best.summary();
+        EXPECT_EQ(a[i].bestIpt, b[i].bestIpt); // bit-identical
+        EXPECT_EQ(a[i].evaluations, b[i].evaluations);
+        EXPECT_EQ(a[i].adoptions, b[i].adoptions);
+    }
+}
+
+} // namespace
+
+// --- ProcPool --------------------------------------------------------------
+
+TEST(ProcPool, RunsJobsToCompletion)
+{
+    const std::string dir = freshDir("basic");
+    std::vector<ProcJob> jobs;
+    for (int i = 0; i < 3; ++i) {
+        ProcJob job;
+        job.name = "job" + std::to_string(i);
+        const std::string out = dir + "/" + job.name;
+        job.run = [out]() {
+            atomicWriteFile(out, "done");
+            return 0;
+        };
+        job.onSuccess = [out]() { return fileExists(out); };
+        jobs.push_back(std::move(job));
+    }
+    const auto outcomes = ProcPool(fastPool()).run(jobs);
+    ASSERT_EQ(outcomes.size(), 3u);
+    for (const auto &o : outcomes) {
+        EXPECT_EQ(o.status, ProcJobOutcome::Status::Done);
+        EXPECT_EQ(o.attempts, 1);
+        EXPECT_EQ(o.crashes, 0);
+        EXPECT_EQ(o.hangs, 0);
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProcPool, WorkerIsolationContainsCrashes)
+{
+    // A child that dies of a hard signal must not take the pool (or
+    // this test process) down.
+    std::vector<ProcJob> jobs(1);
+    jobs[0].name = "segv";
+    jobs[0].run = []() {
+        ::raise(SIGSEGV);
+        return 0;
+    };
+    ProcPoolOptions opts = fastPool(1);
+    opts.maxAttempts = 1;
+    const auto outcomes = ProcPool(opts).run(jobs);
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, ProcJobOutcome::Status::Quarantined);
+    EXPECT_NE(outcomes[0].lastError.find("signal"), std::string::npos)
+        << outcomes[0].lastError;
+}
+
+TEST(ProcPool, CrashedJobIsRetriedAndSucceeds)
+{
+    const std::string dir = freshDir("retry");
+    const std::string marker = dir + "/attempted";
+    std::vector<ProcJob> jobs(1);
+    jobs[0].name = "flaky";
+    jobs[0].run = [marker]() {
+        if (!fileExists(marker)) {
+            touch(marker); // crash only on the first attempt
+            ::_exit(3);
+        }
+        return 0;
+    };
+    const auto outcomes = ProcPool(fastPool(1)).run(jobs);
+    EXPECT_EQ(outcomes[0].status, ProcJobOutcome::Status::Done);
+    EXPECT_EQ(outcomes[0].attempts, 2);
+    EXPECT_EQ(outcomes[0].crashes, 1);
+    EXPECT_EQ(outcomes[0].hangs, 0);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProcPool, HangIsDetectedKilledAndRetried)
+{
+    const std::string dir = freshDir("hang");
+    const std::string marker = dir + "/attempted";
+    std::vector<ProcJob> jobs(1);
+    jobs[0].name = "hanger";
+    jobs[0].run = [marker]() {
+        if (!fileExists(marker)) {
+            touch(marker);
+            for (;;) // stop beating: the supervisor must kill us
+                ::usleep(50 * 1000);
+        }
+        return 0;
+    };
+    const auto outcomes = ProcPool(fastPool(1)).run(jobs);
+    EXPECT_EQ(outcomes[0].status, ProcJobOutcome::Status::Done);
+    EXPECT_EQ(outcomes[0].attempts, 2);
+    EXPECT_EQ(outcomes[0].hangs, 1);
+    EXPECT_EQ(outcomes[0].crashes, 0);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProcPool, HeartbeatsKeepSlowWorkersAlive)
+{
+    // A job slower than the heartbeat timeout survives as long as it
+    // keeps beating.
+    std::vector<ProcJob> jobs(1);
+    jobs[0].name = "slow-but-alive";
+    jobs[0].run = []() {
+        for (int i = 0; i < 60; ++i) {
+            ProcPool::beat();
+            ::usleep(10 * 1000); // 0.6 s total vs 0.3 s hb timeout
+        }
+        return 0;
+    };
+    const auto outcomes = ProcPool(fastPool(1)).run(jobs);
+    EXPECT_EQ(outcomes[0].status, ProcJobOutcome::Status::Done);
+    EXPECT_EQ(outcomes[0].attempts, 1);
+    EXPECT_EQ(outcomes[0].hangs, 0);
+}
+
+TEST(ProcPool, DeadlineZeroMeansUnlimited)
+{
+    std::vector<ProcJob> jobs(1);
+    jobs[0].name = "no-deadline";
+    jobs[0].deadlineSeconds = 0.0;
+    jobs[0].run = []() {
+        for (int i = 0; i < 20; ++i) {
+            ProcPool::beat();
+            ::usleep(10 * 1000);
+        }
+        return 0;
+    };
+    const auto outcomes = ProcPool(fastPool(1)).run(jobs);
+    EXPECT_EQ(outcomes[0].status, ProcJobOutcome::Status::Done);
+    EXPECT_EQ(outcomes[0].attempts, 1);
+}
+
+TEST(ProcPool, DeadlineExceededCountsAsHang)
+{
+    std::vector<ProcJob> jobs(1);
+    jobs[0].name = "over-deadline";
+    jobs[0].deadlineSeconds = 0.1;
+    jobs[0].run = []() {
+        for (;;) {
+            ProcPool::beat(); // beating does not excuse the deadline
+            ::usleep(10 * 1000);
+        }
+        return 0;
+    };
+    ProcPoolOptions opts = fastPool(1);
+    opts.heartbeatTimeoutSeconds = 30.0;
+    opts.maxAttempts = 2;
+    const auto outcomes = ProcPool(opts).run(jobs);
+    EXPECT_EQ(outcomes[0].status, ProcJobOutcome::Status::Quarantined);
+    EXPECT_EQ(outcomes[0].attempts, 2);
+    EXPECT_EQ(outcomes[0].hangs, 2);
+    EXPECT_NE(outcomes[0].lastError.find("deadline"),
+              std::string::npos);
+}
+
+TEST(ProcPool, RejectedMergeIsRetried)
+{
+    const std::string dir = freshDir("merge");
+    const std::string marker = dir + "/merged_once";
+    std::vector<ProcJob> jobs(1);
+    jobs[0].name = "picky-merge";
+    jobs[0].run = []() { return 0; };
+    jobs[0].onSuccess = [marker]() {
+        if (!fileExists(marker)) {
+            touch(marker);
+            return false; // reject the first attempt's result
+        }
+        return true;
+    };
+    const auto outcomes = ProcPool(fastPool(1)).run(jobs);
+    EXPECT_EQ(outcomes[0].status, ProcJobOutcome::Status::Done);
+    EXPECT_EQ(outcomes[0].attempts, 2);
+    EXPECT_EQ(outcomes[0].crashes, 1); // a rejected merge is a failure
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ProcPool, AllJobsQuarantinedStillCompletes)
+{
+    const uint64_t quarantined_before =
+        Metrics::global().counter("supervisor.jobs_quarantined").get();
+    std::vector<ProcJob> jobs(2);
+    jobs[0].name = "doomed0";
+    jobs[0].run = []() { return 7; };
+    jobs[1].name = "doomed1";
+    jobs[1].run = []() { return 8; };
+    ProcPoolOptions opts = fastPool();
+    opts.maxAttempts = 2;
+    const auto outcomes = ProcPool(opts).run(jobs);
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto &o : outcomes) {
+        EXPECT_EQ(o.status, ProcJobOutcome::Status::Quarantined);
+        EXPECT_EQ(o.attempts, 2);
+        EXPECT_EQ(o.crashes, 2);
+        EXPECT_NE(o.lastError.find("exit code"), std::string::npos);
+    }
+    EXPECT_EQ(
+        Metrics::global().counter("supervisor.jobs_quarantined").get(),
+        quarantined_before + 2);
+}
+
+TEST(ProcPool, ExportsSupervisionCounters)
+{
+    Metrics &metrics = Metrics::global();
+    const uint64_t crashes =
+        metrics.counter("supervisor.worker_crashes").get();
+    const uint64_t retries =
+        metrics.counter("supervisor.job_retries").get();
+    const std::string dir = freshDir("counters");
+    const std::string marker = dir + "/attempted";
+    std::vector<ProcJob> jobs(1);
+    jobs[0].name = "counted";
+    jobs[0].run = [marker]() {
+        if (!fileExists(marker)) {
+            touch(marker);
+            ::_exit(9);
+        }
+        return 0;
+    };
+    ProcPool(fastPool(1)).run(jobs);
+    EXPECT_EQ(metrics.counter("supervisor.worker_crashes").get(),
+              crashes + 1);
+    EXPECT_EQ(metrics.counter("supervisor.job_retries").get(),
+              retries + 1);
+    // The backoff gauge is part of the export contract too: dump the
+    // registry and check the counters appear.
+    const std::string json = metrics.toJson();
+    EXPECT_NE(json.find("supervisor.worker_crashes"),
+              std::string::npos);
+    EXPECT_NE(json.find("supervisor.job_retries"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+// --- Supervisor façade -----------------------------------------------------
+
+TEST(Supervisor, ReportAccumulatesAndSerializes)
+{
+    const std::string dir = freshDir("report");
+    Supervisor sup(fastSupervisor(dir + "/staging"));
+    std::vector<ProcJob> jobs(2);
+    jobs[0].name = "ok";
+    jobs[0].run = []() { return 0; };
+    jobs[1].name = "doomed";
+    jobs[1].run = []() { return 13; };
+    sup.run(jobs);
+    const SupervisorReport &report = sup.report();
+    EXPECT_EQ(report.crashes, 3u); // maxAttempts failures
+    EXPECT_EQ(report.retries, 2u);
+    ASSERT_EQ(report.quarantined.size(), 1u);
+    EXPECT_EQ(report.quarantined[0].name, "doomed");
+    EXPECT_EQ(report.quarantined[0].attempts, 3);
+
+    const std::string path = dir + "/report.json";
+    sup.writeReport(path);
+    std::string json;
+    ASSERT_TRUE(readFile(path, json));
+    EXPECT_NE(json.find("\"worker_crashes\": 3"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"jobs_quarantined\": 1"), std::string::npos)
+        << json;
+    EXPECT_NE(json.find("\"doomed\""), std::string::npos) << json;
+    std::filesystem::remove_all(dir);
+}
+
+// --- supervised exploration ------------------------------------------------
+
+TEST(SupervisedExplorer, MatchesThreadedRunBitIdentical)
+{
+    const auto golden = Explorer(miniSuite(), miniOpts(5)).exploreAll();
+
+    const std::string dir = freshDir("explore_eq");
+    ExplorerOptions opts = miniOpts(5);
+    opts.supervised = true;
+    opts.supervisorOpts = fastSupervisor(dir);
+    Explorer explorer(miniSuite(), opts);
+    const auto supervised = explorer.exploreAll();
+
+    expectResultsIdentical(supervised, golden);
+    const SupervisorReport &report = explorer.supervisorReport();
+    EXPECT_EQ(report.crashes, 0u);
+    EXPECT_EQ(report.hangs, 0u);
+    EXPECT_TRUE(report.quarantined.empty());
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SupervisedExplorer, MatchesCheckpointedThreadedRunBitIdentical)
+{
+    const auto golden = Explorer(miniSuite(), miniOpts(9)).exploreAll();
+
+    const std::string work = freshDir("explore_ckpt_w");
+    const std::string ckpt = freshDir("explore_ckpt_c");
+    ExplorerOptions opts = miniOpts(9);
+    opts.supervised = true;
+    opts.supervisorOpts = fastSupervisor(work);
+    opts.checkpointEvery = 4;
+    opts.checkpointDir = ckpt;
+    const auto supervised = Explorer(miniSuite(), opts).exploreAll();
+
+    expectResultsIdentical(supervised, golden);
+    EXPECT_TRUE(std::filesystem::is_empty(ckpt));
+    std::filesystem::remove_all(work);
+    std::filesystem::remove_all(ckpt);
+}
+
+namespace
+{
+
+/** Death-test body: supervised + checkpointed exploration, _exit(42)
+ *  at the first suite-barrier write — SIGKILL of the *supervisor*
+ *  process mid-run (workers have already been joined at the barrier;
+ *  any orphans would die via PR_SET_PDEATHSIG). */
+[[noreturn]] void
+superviseAndKill(const std::string &work, const std::string &ckpt,
+                 uint64_t seed)
+{
+    ExplorerOptions opts = miniOpts(seed);
+    opts.supervised = true;
+    opts.supervisorOpts = fastSupervisor(work);
+    opts.checkpointEvery = 4;
+    opts.checkpointDir = ckpt;
+    opts.checkpointWrittenHook = [](const std::string &path) {
+        if (path.size() >= 10 &&
+            path.compare(path.size() - 10, 10, "suite.ckpt") == 0)
+            ::_exit(42);
+    };
+    Explorer(miniSuite(), opts).exploreAll();
+    ::_exit(0); // unreachable
+}
+
+} // namespace
+
+TEST(SupervisedExplorer, SupervisorKilledMidRunResumesBitIdentical)
+{
+    const auto golden = Explorer(miniSuite(), miniOpts(9)).exploreAll();
+
+    const std::string work = freshDir("kill_w");
+    const std::string ckpt = freshDir("kill_c");
+    EXPECT_EXIT(superviseAndKill(work, ckpt, 9),
+                testing::ExitedWithCode(42), "");
+
+    ExplorerOptions opts = miniOpts(9);
+    opts.supervised = true;
+    opts.supervisorOpts = fastSupervisor(work);
+    opts.checkpointEvery = 4;
+    opts.checkpointDir = ckpt;
+    const auto resumed = Explorer(miniSuite(), opts).exploreAll();
+
+    expectResultsIdentical(resumed, golden);
+    EXPECT_TRUE(std::filesystem::is_empty(ckpt));
+    std::filesystem::remove_all(work);
+    std::filesystem::remove_all(ckpt);
+}
+
+// --- supervised matrix -----------------------------------------------------
+
+namespace
+{
+
+std::vector<CoreConfig>
+miniConfigs(const std::vector<WorkloadProfile> &suite)
+{
+    const UnitTiming timing;
+    const SearchSpace space(timing);
+    Rng rng(4242);
+    std::vector<CoreConfig> configs;
+    for (size_t i = 0; i < suite.size(); ++i) {
+        CoreConfig cfg =
+            i == 0 ? space.initialConfig() : space.randomConfig(rng);
+        cfg.name = suite[i].name;
+        configs.push_back(cfg);
+    }
+    return configs;
+}
+
+} // namespace
+
+TEST(SupervisedMatrix, MatchesPlainBuildBitIdentical)
+{
+    const auto suite = miniSuite();
+    const auto configs = miniConfigs(suite);
+    const uint64_t instrs = 4000;
+    const PerfMatrix golden =
+        PerfMatrix::build(suite, configs, instrs, 1);
+
+    const std::string dir = freshDir("matrix_eq");
+    Supervisor sup(fastSupervisor(dir));
+    std::vector<std::string> missing;
+    const PerfMatrix supervised = PerfMatrix::buildSupervised(
+        suite, configs, instrs, sup, &missing);
+
+    EXPECT_TRUE(missing.empty());
+    ASSERT_EQ(supervised.size(), golden.size());
+    for (size_t w = 0; w < golden.size(); ++w) {
+        for (size_t c = 0; c < golden.size(); ++c)
+            EXPECT_EQ(supervised.ipt(w, c), golden.ipt(w, c))
+                << "cell (" << w << ", " << c << ")";
+    }
+    std::filesystem::remove_all(dir);
+}
+
+TEST(SupervisedMatrix, QuarantinedRowDegradesToMissingCells)
+{
+    // An impossible deadline quarantines every row job: the build
+    // must still complete, report the missing rows, and leave their
+    // cells NaN rather than aborting the suite.
+    const auto suite = miniSuite();
+    const auto configs = miniConfigs(suite);
+    const std::string dir = freshDir("matrix_missing");
+    SupervisorOptions opts = fastSupervisor(dir);
+    opts.jobDeadlineSeconds = 0.01; // each cell needs far longer
+    opts.maxAttempts = 2;
+    Supervisor sup(opts);
+    std::vector<std::string> missing;
+    const PerfMatrix degraded = PerfMatrix::buildSupervised(
+        suite, configs, 1000000, sup, &missing);
+
+    ASSERT_EQ(missing.size(), suite.size());
+    EXPECT_EQ(missing[0], suite[0].name);
+    for (size_t w = 0; w < degraded.size(); ++w) {
+        for (size_t c = 0; c < degraded.size(); ++c)
+            EXPECT_TRUE(std::isnan(degraded.ipt(w, c)));
+    }
+    const SupervisorReport &report = sup.report();
+    EXPECT_EQ(report.quarantined.size(), suite.size());
+    EXPECT_GE(report.hangs, 2u);
+    std::filesystem::remove_all(dir);
+}
