@@ -20,6 +20,7 @@
 #include "sim/simulator.hh"
 #include "timing/unit_timing.hh"
 #include "util/metrics.hh"
+#include "util/procpool.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 #include "workload/trace.hh"
@@ -61,6 +62,11 @@ main(int argc, char **argv)
 {
     const std::string out =
         argc > 1 ? argv[1] : std::string("BENCH_results.json");
+    // Latency distributions (DESIGN.md §10) ride along with the
+    // timings: one clock read per simulate()/anneal step, noise at
+    // these instruction budgets, and both sides of every comparison
+    // pay it equally.
+    Metrics::enableHistograms();
     constexpr uint64_t kMeasure = 20000;
     constexpr uint64_t kWarmup = 20000;
     constexpr int kSimReps = 9;
@@ -151,6 +157,30 @@ main(int argc, char **argv)
                 roundStreamingMs, roundTracedMs,
                 roundStreamingMs / roundTracedMs);
 
+    // Worker-job latency: a small supervised batch after the timed
+    // sections (fork noise must not disturb the min-of-N numbers).
+    {
+        ProcPoolOptions pool_opts;
+        pool_opts.workers = 2;
+        pool_opts.maxAttempts = 1;
+        ProcPool pool(pool_opts);
+        std::vector<ProcJob> jobs(4);
+        for (size_t j = 0; j < jobs.size(); ++j) {
+            jobs[j].name = "bench.job" + std::to_string(j);
+            jobs[j].run = [] {
+                SimOptions opts;
+                opts.measureInstrs = 4000;
+                volatile uint64_t c =
+                    simulate(profileByName("gzip"),
+                             CoreConfig::initial(), opts)
+                        .cycles;
+                (void)c;
+                return 0;
+            };
+        }
+        pool.run(jobs);
+    }
+
     FILE *f = std::fopen(out.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "cannot write %s\n", out.c_str());
@@ -199,6 +229,26 @@ main(int argc, char **argv)
                  "same host/settings\", \"gcc_ms\": 23.58, "
                  "\"gzip_ms\": 18.17, \"mcf_ms\": 63.12, "
                  "\"twolf_ms\": 30.17},\n");
+    // Latency distributions across everything above: sim.run and
+    // anneal.step from the timed sections, pool.job from the
+    // supervised batch.
+    {
+        const Metrics::Snapshot snap = Metrics::global().snapshot();
+        std::fprintf(f, "  \"latency_histograms_ns\": {");
+        for (size_t i = 0; i < snap.histograms.size(); ++i) {
+            const auto &[name, h] = snap.histograms[i];
+            std::fprintf(
+                f,
+                "%s\n    \"%s\": {\"count\": %llu, \"p50\": %llu, "
+                "\"p95\": %llu, \"max\": %llu, \"mean\": %.1f}",
+                i ? "," : "", name.c_str(),
+                static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.p50Ns),
+                static_cast<unsigned long long>(h.p95Ns),
+                static_cast<unsigned long long>(h.maxNs), h.meanNs);
+        }
+        std::fprintf(f, "\n  },\n");
+    }
     // Runtime metrics accumulated across everything above (trace
     // cache hit rates, annealer accept/reject counts, phase timers).
     std::fprintf(f, "  \"metrics\": %s\n",

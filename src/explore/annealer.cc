@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
 
@@ -54,6 +55,22 @@ Annealer::resume(AnnealerState &state, uint64_t checkpointEvery,
     Counter &ctr_rollbacks = metrics.counter("anneal.rollbacks");
     Counter &ctr_evals = metrics.counter("anneal.evaluations");
 
+    // Observability (both off by default; each costs one predicted
+    // branch per step when disabled). Handles are hoisted out of the
+    // loop; the per-step instants carry the workload label so
+    // xps-report can reconstruct per-workload convergence.
+    const char *label =
+        params_.traceLabel.empty() ? "anneal" : params_.traceLabel.c_str();
+    Histogram *step_histogram =
+        Metrics::histogramsEnabled() ? &metrics.histogram("anneal.step")
+                                     : nullptr;
+    obs::ScopedSpan resume_span("anneal.resume", "anneal", [&] {
+        return obs::Args()
+            .add("workload", label)
+            .add("from", state.iteration)
+            .add("to", params_.iterations);
+    });
+
     Rng rng(0);
     rng.setState(state.rng);
     CoreConfig current = state.current;
@@ -76,6 +93,8 @@ Annealer::resume(AnnealerState &state, uint64_t checkpointEvery,
     for (uint64_t iter = state.iteration + 1;
          iter <= params_.iterations; ++iter) {
         temp *= cooling;
+        const uint64_t step_begin =
+            step_histogram ? obs::detail::nowNs() : 0;
 
         CoreConfig cand;
         bool have = false;
@@ -96,14 +115,35 @@ Annealer::resume(AnnealerState &state, uint64_t checkpointEvery,
                 cur_score = cand_score;
                 ++result.accepted;
                 ctr_accepts.add();
+                obs::instant("anneal.accept", "anneal", [&] {
+                    return obs::Args()
+                        .add("workload", label)
+                        .add("step", iter)
+                        .add("temp", temp)
+                        .add("obj", cand_score);
+                });
             } else {
                 ctr_rejects.add();
+                obs::instant("anneal.reject", "anneal", [&] {
+                    return obs::Args()
+                        .add("workload", label)
+                        .add("step", iter)
+                        .add("temp", temp)
+                        .add("obj", cand_score);
+                });
             }
 
             if (cur_score > result.bestScore) {
                 result.best = current;
                 result.bestScore = cur_score;
                 result.improvementTrace.emplace_back(iter, cur_score);
+                obs::instant("anneal.improve", "anneal", [&] {
+                    return obs::Args()
+                        .add("workload", label)
+                        .add("step", iter)
+                        .add("temp", temp)
+                        .add("obj", result.bestScore);
+                });
             }
 
             // The paper's rollback rule: a walk that has fallen below
@@ -113,9 +153,18 @@ Annealer::resume(AnnealerState &state, uint64_t checkpointEvery,
                 current = result.best;
                 cur_score = result.bestScore;
                 ctr_rollbacks.add();
+                obs::instant("anneal.rollback", "anneal", [&] {
+                    return obs::Args()
+                        .add("workload", label)
+                        .add("step", iter)
+                        .add("temp", temp)
+                        .add("obj", cur_score);
+                });
             }
         }
         // else: stuck corner; cool and retry next iteration
+        if (step_histogram)
+            step_histogram->record(obs::detail::nowNs() - step_begin);
 
         if (checkpointEvery > 0 && hook &&
             (iter % checkpointEvery == 0 ||

@@ -38,6 +38,10 @@ struct AnnealParams
     /** Rollback threshold of the paper: roll back to the incumbent
      *  when current < threshold * best. */
     double rollbackFraction = 0.5;
+    /** Label for trace instants (DESIGN.md §10) — the workload name
+     *  when the Explorer drives the walk. Not part of the checkpoint
+     *  identity: purely observational. */
+    std::string traceLabel;
 };
 
 /** Result of one annealing run. */

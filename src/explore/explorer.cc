@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "obs/tracer.hh"
 #include "util/atomic_file.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
@@ -128,6 +129,11 @@ Explorer::annealWorkloadRound(
 {
     const bool ckpt = opts_.checkpointEvery > 0;
     Metrics &metrics = Metrics::global();
+    obs::ScopedSpan round_span("explore.round", "explore", [&] {
+        return obs::Args()
+            .add("workload", suite_[w].name)
+            .add("round", round);
+    });
 
     std::unordered_map<std::string, double> memo(in.memo.begin(),
                                                  in.memo.end());
@@ -151,6 +157,7 @@ Explorer::annealWorkloadRound(
     params.iterations = itersPerRound;
     params.seed = opts_.seed * 0x9e3779b97f4a7c15ULL +
                   w * 1315423911ULL + static_cast<uint64_t>(round);
+    params.traceLabel = suite_[w].name;
     Annealer annealer(space_, objective, params);
 
     AnnealerState st;
@@ -189,6 +196,12 @@ Explorer::annealWorkloadRound(
                             serializeWorkloadCheckpoint(wc, identity),
                             "checkpoint.write");
             metrics.counter("checkpoint.writes").add();
+            obs::instant("checkpoint.write", "io", [&] {
+                return obs::Args()
+                    .add("workload", suite_[w].name)
+                    .add("round", round)
+                    .add("iteration", snap.iteration);
+            });
             verbose("explore[%s] checkpoint: round %d iteration "
                     "%llu/%llu", suite_[w].name.c_str(), round,
                     static_cast<unsigned long long>(snap.iteration),
@@ -220,6 +233,14 @@ Explorer::exploreAll()
                                      : CsvManifest{};
     Metrics &metrics = Metrics::global();
     supervisorReport_ = SupervisorReport{};
+    obs::setProcessName(opts_.supervised ? "explorer/supervisor"
+                                         : "explorer");
+    obs::ScopedSpan explore_span("explore.all", "explore", [&] {
+        return obs::Args()
+            .add("workloads", static_cast<uint64_t>(n))
+            .add("rounds", opts_.rounds)
+            .add("supervised", opts_.supervised ? 1 : 0);
+    });
     const auto wall_start = std::chrono::steady_clock::now();
     auto elapsed_s = [&] {
         const std::chrono::duration<double> dt =
@@ -302,6 +323,12 @@ Explorer::exploreAll()
         atomicWriteFile(suiteCheckpointPath(),
                         serializeSuiteCheckpoint(sc, identity));
         metrics.counter("checkpoint.writes").add();
+        obs::instant("checkpoint.write", "io", [&] {
+            return obs::Args()
+                .add("workload", "suite")
+                .add("round", round)
+                .add("phase", static_cast<int>(ph));
+        });
         if (opts_.checkpointWrittenHook)
             opts_.checkpointWrittenHook(suiteCheckpointPath());
     };
@@ -483,6 +510,10 @@ Explorer::exploreAll()
             // after the final round.
             if (round < opts_.rounds - 1) {
                 ScopedTimer adopt_timer("explore.adopt_seconds");
+                obs::ScopedSpan adopt_span(
+                    "explore.adopt", "explore", [&] {
+                        return obs::Args().add("round", round);
+                    });
                 for (size_t w = 0; w < n; ++w) {
                     for (size_t other = 0; other < n; ++other) {
                         if (other == w)
@@ -520,6 +551,7 @@ Explorer::exploreAll()
     // configuration, while small noise-level differences keep the
     // customized configurations distinct.
     ScopedTimer final_timer("explore.final_seconds");
+    obs::ScopedSpan final_span("explore.final", "explore");
     const uint64_t score_instrs = opts_.finalEvalInstrs > 0
                                       ? opts_.finalEvalInstrs
                                       : opts_.evalInstrs;

@@ -5,6 +5,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "obs/json.hh"
 #include "util/atomic_file.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
@@ -15,21 +16,12 @@ namespace xps
 namespace
 {
 
+// One escaper for every JSON this module emits (obs/json.hh also
+// covers control characters, which job errors can contain).
 std::string
 jsonEscape(const std::string &s)
 {
-    std::string out;
-    out.reserve(s.size());
-    for (const char c : s) {
-        if (c == '"' || c == '\\')
-            out.push_back('\\');
-        if (c == '\n') {
-            out += "\\n";
-            continue;
-        }
-        out.push_back(c);
-    }
-    return out;
+    return obs::json::escape(s);
 }
 
 } // namespace
@@ -64,7 +56,31 @@ SupervisorReport::toJson() const
             << ", \"last_error\": \""
             << jsonEscape(quarantined[i].lastError) << "\"}";
     }
-    out << (quarantined.empty() ? "" : "\n  ") << "]\n}\n";
+    out << (quarantined.empty() ? "" : "\n  ") << "],\n  \"jobs\": [";
+    char buf[64];
+    for (size_t j = 0; j < jobs.size(); ++j) {
+        const SupervisedJobRecord &job = jobs[j];
+        out << (j ? "," : "") << "\n    {\"job\": \""
+            << jsonEscape(job.name) << "\", \"status\": \""
+            << job.status << "\", \"attempts\": [";
+        for (size_t a = 0; a < job.attempts.size(); ++a) {
+            const ProcAttempt &at = job.attempts[a];
+            out << (a ? "," : "") << "\n      {\"attempt\": "
+                << at.attempt;
+            std::snprintf(buf, sizeof(buf), "%.6f",
+                          at.startMonoSeconds);
+            out << ", \"start_mono_s\": " << buf;
+            std::snprintf(buf, sizeof(buf), "%.6f", at.endMonoSeconds);
+            out << ", \"end_mono_s\": " << buf << ", \"outcome\": \""
+                << jsonEscape(at.outcome)
+                << "\", \"exit_code\": " << at.exitCode
+                << ", \"signal\": " << at.signal;
+            std::snprintf(buf, sizeof(buf), "%.6f", at.backoffSeconds);
+            out << ", \"backoff_s\": " << buf << '}';
+        }
+        out << (job.attempts.empty() ? "" : "\n    ") << "]}";
+    }
+    out << (jobs.empty() ? "" : "\n  ") << "]\n}\n";
     return out.str();
 }
 
@@ -123,6 +139,12 @@ Supervisor::run(const std::vector<ProcJob> &jobs)
         if (o.status == ProcJobOutcome::Status::Quarantined)
             report_.quarantined.push_back(
                 {jobs[j].name, o.attempts, o.lastError});
+        report_.jobs.push_back(
+            {jobs[j].name,
+             o.status == ProcJobOutcome::Status::Quarantined
+                 ? "quarantined"
+                 : "done",
+             o.attemptLog});
     }
     return outcomes;
 }

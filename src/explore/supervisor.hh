@@ -54,6 +54,15 @@ struct QuarantinedJob
     std::string lastError;
 };
 
+/** One job's full supervision history (every attempt with timing and
+ *  exit detail) — what xps-report renders without guessing. */
+struct SupervisedJobRecord
+{
+    std::string name;
+    std::string status; ///< "done" or "quarantined"
+    std::vector<ProcAttempt> attempts;
+};
+
 /** Cumulative supervision outcome of a run — the results manifest's
  *  record that cells are missing and why, instead of an abort. */
 struct SupervisorReport
@@ -62,6 +71,7 @@ struct SupervisorReport
     uint64_t hangs = 0;
     uint64_t retries = 0;
     std::vector<QuarantinedJob> quarantined;
+    std::vector<SupervisedJobRecord> jobs;
 
     std::string toJson() const;
 };

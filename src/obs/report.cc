@@ -1,0 +1,386 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "util/atomic_file.hh"
+
+namespace xps
+{
+namespace obs
+{
+
+namespace
+{
+
+std::string
+existingFile(const std::string &path)
+{
+    std::error_code ec;
+    return std::filesystem::is_regular_file(path, ec) ? path : "";
+}
+
+bool
+loadJson(const std::string &path, json::Value &out)
+{
+    std::string content;
+    return !path.empty() && readFile(path, content) &&
+           json::parse(content, out);
+}
+
+std::string
+percent(double num, double den)
+{
+    char buf[32];
+    if (den <= 0)
+        return "n/a";
+    std::snprintf(buf, sizeof(buf), "%.1f%%", 100.0 * num / den);
+    return buf;
+}
+
+/** Counter value by name, 0 when absent. */
+uint64_t
+counterOf(const json::Value &metrics, const std::string &name)
+{
+    const json::Value *counters = metrics.find("counters");
+    if (!counters)
+        return 0;
+    return static_cast<uint64_t>(counters->numberOr(name, 0.0));
+}
+
+void
+renderMetrics(std::ostringstream &out, const ReportPaths &paths)
+{
+    out << "Metrics";
+    json::Value metrics;
+    if (!loadJson(paths.metrics, metrics) || !metrics.isObject()) {
+        out << ": "
+            << (paths.metrics.empty() ? "no metrics.json found"
+                                      : "unreadable: " + paths.metrics)
+            << "\n\n";
+        return;
+    }
+    out << " (" << paths.metrics << ")\n";
+
+    const uint64_t accepts = counterOf(metrics, "anneal.accepts");
+    const uint64_t rejects = counterOf(metrics, "anneal.rejects");
+    const uint64_t rollbacks = counterOf(metrics, "anneal.rollbacks");
+    const uint64_t steps = accepts + rejects;
+    out << "  sim evaluations    "
+        << counterOf(metrics, "anneal.evaluations") << "\n";
+    out << "  anneal steps       " << steps << " (accept "
+        << percent(static_cast<double>(accepts),
+                   static_cast<double>(steps))
+        << ", rollback "
+        << percent(static_cast<double>(rollbacks),
+                   static_cast<double>(steps))
+        << ")\n";
+    const uint64_t hits = counterOf(metrics, "trace_cache.hits");
+    const uint64_t misses = counterOf(metrics, "trace_cache.misses");
+    out << "  trace cache        " << hits << " hits / " << misses
+        << " misses ("
+        << percent(static_cast<double>(hits),
+                   static_cast<double>(hits + misses))
+        << " hit ratio)\n";
+    out << "  checkpoint writes  "
+        << counterOf(metrics, "checkpoint.writes") << "\n";
+
+    const json::Value *histograms = metrics.find("histograms_ns");
+    if (histograms && histograms->isObject() &&
+        !histograms->fields.empty()) {
+        out << "  latency distributions:\n";
+        char row[160];
+        std::snprintf(row, sizeof(row),
+                      "    %-18s %10s %10s %10s %10s\n", "name",
+                      "count", "p50", "p95", "max");
+        out << row;
+        for (const auto &[name, h] : histograms->fields) {
+            std::snprintf(
+                row, sizeof(row),
+                "    %-18s %10llu %10s %10s %10s\n", name.c_str(),
+                static_cast<unsigned long long>(h.numberOr("count", 0)),
+                formatNs(h.numberOr("p50", 0)).c_str(),
+                formatNs(h.numberOr("p95", 0)).c_str(),
+                formatNs(h.numberOr("max", 0)).c_str());
+            out << row;
+        }
+    }
+    out << "\n";
+}
+
+/** Per-workload anneal statistics reconstructed from instants. */
+struct WorkloadConvergence
+{
+    uint64_t accepts = 0;
+    uint64_t rejects = 0;
+    uint64_t rollbacks = 0;
+    double bestObj = 0.0;
+    uint64_t bestStep = 0;
+};
+
+void
+renderTrace(std::ostringstream &out, const ReportPaths &paths)
+{
+    out << "Trace";
+    json::Value trace;
+    if (!loadJson(paths.trace, trace) || !trace.isObject() ||
+        !trace.find("traceEvents")) {
+        out << ": "
+            << (paths.trace.empty() ? "no trace.json found"
+                                    : "unreadable: " + paths.trace)
+            << "\n\n";
+        return;
+    }
+    out << " (" << paths.trace << ")\n";
+
+    const json::Value &events = *trace.find("traceEvents");
+    std::set<int> pids;
+    std::map<std::string, double> categoryUs;
+    std::map<std::string, WorkloadConvergence> workloads;
+    size_t spans = 0, instants = 0;
+    for (const json::Value &ev : events.items) {
+        if (!ev.isObject())
+            continue;
+        pids.insert(static_cast<int>(ev.numberOr("pid", 0)));
+        const std::string ph = ev.stringOr("ph", "");
+        if (ph == "X") {
+            ++spans;
+            categoryUs[ev.stringOr("cat", "?")] +=
+                ev.numberOr("dur", 0.0);
+        } else if (ph == "i") {
+            ++instants;
+            const std::string name = ev.stringOr("name", "");
+            if (name.rfind("anneal.", 0) != 0)
+                continue;
+            const json::Value *args = ev.find("args");
+            if (!args)
+                continue;
+            WorkloadConvergence &w =
+                workloads[args->stringOr("workload", "?")];
+            const double obj = args->numberOr("obj", 0.0);
+            const uint64_t step = static_cast<uint64_t>(
+                args->numberOr("step", 0.0));
+            if (name == "anneal.accept")
+                ++w.accepts;
+            else if (name == "anneal.reject")
+                ++w.rejects;
+            else if (name == "anneal.rollback")
+                ++w.rollbacks;
+            if ((name == "anneal.accept" ||
+                 name == "anneal.improve") &&
+                obj > w.bestObj) {
+                w.bestObj = obj;
+                w.bestStep = step;
+            }
+        }
+    }
+
+    out << "  " << events.items.size() << " events (" << spans
+        << " spans, " << instants << " instants) across "
+        << pids.size() << " process" << (pids.size() == 1 ? "" : "es")
+        << "\n";
+
+    if (!categoryUs.empty()) {
+        double totalUs = 0;
+        for (const auto &[cat, us] : categoryUs)
+            totalUs += us;
+        std::vector<std::pair<std::string, double>> byTime(
+            categoryUs.begin(), categoryUs.end());
+        std::sort(byTime.begin(), byTime.end(),
+                  [](const auto &a, const auto &b) {
+                      return a.second > b.second;
+                  });
+        out << "  time by span category:\n";
+        for (const auto &[cat, us] : byTime) {
+            char row[128];
+            std::snprintf(row, sizeof(row), "    %-12s %10s  %s\n",
+                          cat.c_str(),
+                          formatNs(us * 1000.0).c_str(),
+                          percent(us, totalUs).c_str());
+            out << row;
+        }
+    }
+
+    if (!workloads.empty()) {
+        out << "  anneal convergence by workload:\n";
+        char row[160];
+        std::snprintf(row, sizeof(row),
+                      "    %-14s %8s %8s %9s %12s %8s\n", "workload",
+                      "accepts", "rejects", "rollbacks", "best obj",
+                      "@step");
+        out << row;
+        for (const auto &[name, w] : workloads) {
+            std::snprintf(
+                row, sizeof(row),
+                "    %-14s %8llu %8llu %9llu %12.4f %8llu\n",
+                name.c_str(),
+                static_cast<unsigned long long>(w.accepts),
+                static_cast<unsigned long long>(w.rejects),
+                static_cast<unsigned long long>(w.rollbacks),
+                w.bestObj,
+                static_cast<unsigned long long>(w.bestStep));
+            out << row;
+        }
+    }
+    out << "\n";
+}
+
+void
+renderAttempt(std::ostringstream &out, const json::Value &attempt)
+{
+    const double start = attempt.numberOr("start_mono_s", 0.0);
+    const double end = attempt.numberOr("end_mono_s", 0.0);
+    char row[192];
+    std::snprintf(row, sizeof(row),
+                  "      attempt %d: %-22s %8.3fs wall%s\n",
+                  static_cast<int>(attempt.numberOr("attempt", 0)),
+                  attempt.stringOr("outcome", "?").c_str(),
+                  end >= start ? end - start : 0.0,
+                  attempt.numberOr("backoff_s", 0.0) > 0.0
+                      ? "  (backoff applied)"
+                      : "");
+    out << row;
+}
+
+void
+renderSupervision(std::ostringstream &out, const ReportPaths &paths)
+{
+    if (paths.supervisorReports.empty()) {
+        out << "Supervision: no supervisor report found\n\n";
+        return;
+    }
+    for (const std::string &path : paths.supervisorReports) {
+        out << "Supervision (" << path << ")\n";
+        json::Value report;
+        if (!loadJson(path, report) || !report.isObject()) {
+            out << "  unreadable\n\n";
+            continue;
+        }
+        out << "  crashes "
+            << static_cast<uint64_t>(
+                   report.numberOr("worker_crashes", 0))
+            << ", hangs "
+            << static_cast<uint64_t>(report.numberOr("worker_hangs", 0))
+            << ", retries "
+            << static_cast<uint64_t>(report.numberOr("job_retries", 0))
+            << ", quarantined "
+            << static_cast<uint64_t>(
+                   report.numberOr("jobs_quarantined", 0))
+            << "\n";
+        const json::Value *jobs = report.find("jobs");
+        if (jobs && jobs->isArray()) {
+            for (const json::Value &job : jobs->items) {
+                if (!job.isObject())
+                    continue;
+                const json::Value *attempts = job.find("attempts");
+                const size_t n =
+                    attempts && attempts->isArray()
+                        ? attempts->items.size()
+                        : 0;
+                // Single clean attempts are the boring common case;
+                // list only jobs that needed supervision.
+                const std::string status =
+                    job.stringOr("status", "done");
+                if (n <= 1 && status == "done")
+                    continue;
+                out << "    " << job.stringOr("job", "?") << ": "
+                    << status << " after " << n << " attempt"
+                    << (n == 1 ? "" : "s") << "\n";
+                if (attempts) {
+                    for (const json::Value &attempt : attempts->items)
+                        renderAttempt(out, attempt);
+                }
+            }
+        }
+        const json::Value *quarantined = report.find("quarantined");
+        if (quarantined && quarantined->isArray()) {
+            for (const json::Value &q : quarantined->items) {
+                out << "    QUARANTINED " << q.stringOr("job", "?")
+                    << ": " << q.stringOr("last_error", "?") << "\n";
+            }
+        }
+        out << "\n";
+    }
+}
+
+void
+renderCheckpoints(std::ostringstream &out, const ReportPaths &paths)
+{
+    out << "Checkpoints";
+    if (paths.checkpointDir.empty()) {
+        out << ": none\n";
+        return;
+    }
+    out << " (" << paths.checkpointDir << ")\n";
+    std::error_code ec;
+    std::vector<std::pair<std::string, uintmax_t>> files;
+    std::filesystem::directory_iterator it(paths.checkpointDir, ec);
+    if (!ec) {
+        for (const auto &entry : it) {
+            if (entry.is_regular_file(ec))
+                files.emplace_back(entry.path().filename().string(),
+                                   entry.file_size(ec));
+        }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &[name, size] : files)
+        out << "  " << name << "  " << size << " bytes\n";
+    if (files.empty())
+        out << "  (empty)\n";
+}
+
+} // namespace
+
+std::string
+formatNs(double ns)
+{
+    char buf[48];
+    if (ns < 1e3)
+        std::snprintf(buf, sizeof(buf), "%.0fns", ns);
+    else if (ns < 1e6)
+        std::snprintf(buf, sizeof(buf), "%.1fus", ns / 1e3);
+    else if (ns < 1e9)
+        std::snprintf(buf, sizeof(buf), "%.1fms", ns / 1e6);
+    else
+        std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+    return buf;
+}
+
+ReportPaths
+resolveReportPaths(const std::string &dir)
+{
+    ReportPaths paths;
+    paths.dir = dir;
+    paths.metrics = existingFile(dir + "/metrics.json");
+    paths.trace = existingFile(dir + "/trace.json");
+    for (const char *name :
+         {"supervisor_report.json", "matrix_supervisor_report.json"}) {
+        const std::string found = existingFile(dir + "/" + name);
+        if (!found.empty())
+            paths.supervisorReports.push_back(found);
+    }
+    std::error_code ec;
+    if (std::filesystem::is_directory(dir + "/checkpoints", ec))
+        paths.checkpointDir = dir + "/checkpoints";
+    return paths;
+}
+
+std::string
+renderReport(const ReportPaths &paths)
+{
+    std::ostringstream out;
+    out << "xps-report: " << paths.dir << "\n\n";
+    renderMetrics(out, paths);
+    renderTrace(out, paths);
+    renderSupervision(out, paths);
+    renderCheckpoints(out, paths);
+    return out.str();
+}
+
+} // namespace obs
+} // namespace xps

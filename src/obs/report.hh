@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The run-report library behind the `xps-report` CLI (DESIGN.md §10).
+ * Reads the artifacts a run leaves in its results directory — the
+ * XPS_METRICS_JSON dump, the merged XPS_TRACE_JSON timeline, the
+ * supervisor report(s) and the checkpoints/ directory — and renders
+ * one human-readable summary: counter-derived rates (acceptance,
+ * rollback, trace-cache hits), latency distributions, the trace's
+ * time-breakdown by span category, per-workload anneal convergence
+ * (reconstructed from anneal.* instant events), supervision health
+ * with per-attempt exit detail, and the checkpoint inventory.
+ *
+ * Every artifact is optional: a section whose file is absent or
+ * unparseable reports that fact and the rest of the report still
+ * renders — the tool is for post-mortems of degraded runs, so it
+ * must never be taken down by a torn file.
+ */
+
+#ifndef XPS_OBS_REPORT_HH
+#define XPS_OBS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+namespace xps
+{
+namespace obs
+{
+
+/** The artifact files one report draws from. */
+struct ReportPaths
+{
+    std::string dir;     ///< the results directory itself
+    std::string metrics; ///< metrics JSON ("" = absent)
+    std::string trace;   ///< merged trace JSON ("" = absent)
+    /** supervisor_report.json / matrix_supervisor_report.json. */
+    std::vector<std::string> supervisorReports;
+    std::string checkpointDir; ///< checkpoints/ ("" = absent)
+};
+
+/**
+ * Locate the conventional artifact names under `dir`: metrics.json,
+ * trace.json, supervisor_report.json, matrix_supervisor_report.json,
+ * checkpoints/. Absent files resolve to "".
+ */
+ReportPaths resolveReportPaths(const std::string &dir);
+
+/** Render the full report as display text. */
+std::string renderReport(const ReportPaths &paths);
+
+/** Format nanoseconds for display (ns / µs / ms / s). */
+std::string formatNs(double ns);
+
+} // namespace obs
+} // namespace xps
+
+#endif // XPS_OBS_REPORT_HH

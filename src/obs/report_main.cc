@@ -1,0 +1,62 @@
+/**
+ * @file
+ * `xps-report <results-dir>` — print a run summary from the artifacts
+ * a run leaves behind (metrics.json, trace.json, supervisor reports,
+ * checkpoints/). See obs/report.hh; DESIGN.md §10.
+ *
+ * Options:
+ *   --metrics <file>   metrics JSON (default <dir>/metrics.json)
+ *   --trace <file>     merged trace JSON (default <dir>/trace.json)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "obs/report.hh"
+
+int
+main(int argc, char **argv)
+{
+    std::string dir;
+    std::string metrics, trace;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--metrics" && i + 1 < argc) {
+            metrics = argv[++i];
+        } else if (arg == "--trace" && i + 1 < argc) {
+            trace = argv[++i];
+        } else if (arg == "-h" || arg == "--help") {
+            std::printf(
+                "usage: xps-report [--metrics FILE] [--trace FILE] "
+                "<results-dir>\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "xps-report: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else if (dir.empty()) {
+            dir = arg;
+        } else {
+            std::fprintf(stderr,
+                         "xps-report: more than one results dir\n");
+            return 2;
+        }
+    }
+    if (dir.empty()) {
+        std::fprintf(
+            stderr,
+            "usage: xps-report [--metrics FILE] [--trace FILE] "
+            "<results-dir>\n");
+        return 2;
+    }
+
+    xps::obs::ReportPaths paths = xps::obs::resolveReportPaths(dir);
+    if (!metrics.empty())
+        paths.metrics = metrics;
+    if (!trace.empty())
+        paths.trace = trace;
+    const std::string report = xps::obs::renderReport(paths);
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    return 0;
+}

@@ -1,0 +1,505 @@
+#include "obs/tracer.hh"
+
+#include <fcntl.h>
+#include <pthread.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <mutex>
+#include <vector>
+
+#include "obs/json.hh"
+#include "util/atomic_file.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace xps
+{
+namespace obs
+{
+
+namespace detail
+{
+bool gEnabled = false;
+} // namespace detail
+
+namespace
+{
+
+/** Unflushed events drain to the shard at this cadence even under
+ *  light load, so a killed worker loses at most a recent tail. */
+constexpr uint64_t kFlushIntervalNs = 250ull * 1000 * 1000;
+
+uint64_t (*gClockFn)() = nullptr;
+
+/**
+ * Per-process tracer state. Guarded by `mutex` except inside the
+ * fork-child handler, which runs while the (single-threaded, by the
+ * ProcPool contract) child owns the process outright.
+ */
+struct TracerState
+{
+    std::mutex mutex;
+    std::string mergedPath;
+    std::string shardDir;
+    std::string pending; ///< serialized JSONL not yet in the shard
+    size_t bufferBytes = 64 * 1024;
+    uint64_t lastFlushNs = 0;
+    int fd = -1;
+    pid_t originPid = 0; ///< the process that merges at exit
+    bool atexitArmed = false;
+    bool forkHookArmed = false;
+    bool writeFailed = false;
+};
+
+TracerState &
+state()
+{
+    static TracerState *s = new TracerState();
+    return *s;
+}
+
+std::atomic<uint32_t> gNextTid{0};
+
+uint32_t
+threadId()
+{
+    thread_local uint32_t tid =
+        gNextTid.fetch_add(1, std::memory_order_relaxed) + 1;
+    return tid;
+}
+
+std::string
+shardPathFor(const TracerState &s, pid_t pid)
+{
+    return s.shardDir + "/shard." + std::to_string(pid) + ".jsonl";
+}
+
+/** Write `pending` to this process's shard. Caller holds the lock. */
+void
+flushLocked(TracerState &s, uint64_t nowTsNs)
+{
+    s.lastFlushNs = nowTsNs;
+    if (s.pending.empty() || s.writeFailed)
+        return;
+    if (s.fd < 0) {
+        std::error_code ec;
+        std::filesystem::create_directories(s.shardDir, ec);
+        s.fd = ::open(shardPathFor(s, ::getpid()).c_str(),
+                      O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC, 0644);
+        if (s.fd < 0) {
+            // Tracing must never take down the run: drop events,
+            // warn once, and stop trying.
+            warn("trace: cannot open shard %s: %s; dropping events",
+                 shardPathFor(s, ::getpid()).c_str(),
+                 std::strerror(errno));
+            s.writeFailed = true;
+            s.pending.clear();
+            return;
+        }
+    }
+    size_t off = 0;
+    while (off < s.pending.size()) {
+        const ssize_t n = ::write(s.fd, s.pending.data() + off,
+                                  s.pending.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            warn("trace: shard write failed: %s; dropping events",
+                 std::strerror(errno));
+            s.writeFailed = true;
+            break;
+        }
+        off += static_cast<size_t>(n);
+    }
+    s.pending.clear();
+}
+
+/**
+ * In a freshly forked child the inherited shard fd and unflushed
+ * events belong to the parent (which still holds them); writing
+ * either from here would duplicate or interleave. Start clean: the
+ * child gets its own shard on its first event. Registered via
+ * pthread_atfork, so it also covers tests that fork() directly.
+ */
+void
+childAfterFork()
+{
+    TracerState &s = state();
+    // No locking: the child is single-threaded by the fork contract
+    // of the worker pool, and the parent's mutex state is stale here.
+    if (s.fd >= 0)
+        ::close(s.fd);
+    s.fd = -1;
+    s.pending.clear();
+    s.writeFailed = false;
+}
+
+void
+appendEvent(const char *name, const char *cat, char ph,
+            uint64_t tsNs, uint64_t durNs, bool hasDur,
+            const std::string &args)
+{
+    TracerState &s = state();
+    char head[256];
+    const int head_len = std::snprintf(
+        head, sizeof(head),
+        "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%c\","
+        "\"ts\":%.3f,", name, cat, ph,
+        static_cast<double>(tsNs) / 1000.0);
+    char mid[128];
+    int mid_len;
+    if (hasDur) {
+        mid_len = std::snprintf(
+            mid, sizeof(mid), "\"dur\":%.3f,\"pid\":%d,\"tid\":%u",
+            static_cast<double>(durNs) / 1000.0,
+            static_cast<int>(::getpid()), threadId());
+    } else {
+        mid_len = std::snprintf(
+            mid, sizeof(mid), "%s\"pid\":%d,\"tid\":%u",
+            ph == 'i' ? "\"s\":\"t\"," : "",
+            static_cast<int>(::getpid()), threadId());
+    }
+
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (!detail::gEnabled)
+        return;
+    s.pending.append(head, static_cast<size_t>(head_len));
+    s.pending.append(mid, static_cast<size_t>(mid_len));
+    if (!args.empty()) {
+        s.pending += ",\"args\":";
+        s.pending += args;
+    }
+    s.pending += "}\n";
+    if (s.pending.size() >= s.bufferBytes ||
+        tsNs - s.lastFlushNs >= kFlushIntervalNs)
+        flushLocked(s, tsNs);
+}
+
+void
+mergeAtExit()
+{
+    TracerState &s = state();
+    if (!detail::gEnabled)
+        return;
+    if (::getpid() == s.originPid)
+        mergeTrace();
+    else
+        flushTrace(); // forked child exiting via exit(): keep spans
+}
+
+void
+armHooksLocked(TracerState &s)
+{
+    if (!s.forkHookArmed) {
+        ::pthread_atfork(nullptr, nullptr, childAfterFork);
+        s.forkHookArmed = true;
+    }
+    if (!s.atexitArmed) {
+        std::atexit(mergeAtExit);
+        s.atexitArmed = true;
+    }
+}
+
+/** Arm from the environment on program start-up, like the metrics
+ *  registry: no call sites to sprinkle, one knob to flip. */
+const bool gEnvArmed = [] {
+    const std::string path = envString("XPS_TRACE_JSON", "");
+    if (path.empty())
+        return false;
+    configureTracing(path);
+    return true;
+}();
+
+} // namespace
+
+namespace detail
+{
+
+uint64_t
+nowNs()
+{
+    if (__builtin_expect(gClockFn != nullptr, 0))
+        return gClockFn();
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+emitSpan(const char *name, const char *cat, uint64_t beginNs,
+         uint64_t endNs, std::string argsJson)
+{
+    if (!gEnabled)
+        return;
+    appendEvent(name, cat, 'X', beginNs,
+                endNs >= beginNs ? endNs - beginNs : 0, true,
+                argsJson);
+}
+
+void
+emitInstant(const char *name, const char *cat, std::string argsJson)
+{
+    if (!gEnabled)
+        return;
+    appendEvent(name, cat, 'i', nowNs(), 0, false, argsJson);
+}
+
+} // namespace detail
+
+Args &
+Args::add(const char *k, const std::string &value)
+{
+    key(k);
+    body_ += '"';
+    body_ += json::escape(value);
+    body_ += '"';
+    return *this;
+}
+
+Args &
+Args::add(const char *k, const char *value)
+{
+    return add(k, std::string(value));
+}
+
+Args &
+Args::add(const char *k, double value)
+{
+    key(k);
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    body_ += buf;
+    return *this;
+}
+
+Args &
+Args::add(const char *k, uint64_t value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+Args &
+Args::add(const char *k, int value)
+{
+    key(k);
+    body_ += std::to_string(value);
+    return *this;
+}
+
+void
+Args::key(const char *k)
+{
+    if (!body_.empty())
+        body_ += ',';
+    body_ += '"';
+    body_ += k;
+    body_ += "\":";
+}
+
+void
+configureTracing(const std::string &mergedPath, uint64_t bufferKb)
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.mergedPath = mergedPath;
+    s.shardDir = mergedPath + ".shards";
+    s.pending.clear();
+    if (s.fd >= 0)
+        ::close(s.fd);
+    s.fd = -1;
+    s.writeFailed = false;
+    if (bufferKb == 0)
+        bufferKb = envUInt("XPS_TRACE_BUFFER_KB", 64);
+    s.bufferBytes = std::max<uint64_t>(1, bufferKb) * 1024;
+    s.originPid = ::getpid();
+    s.lastFlushNs = detail::nowNs();
+    armHooksLocked(s);
+    detail::gEnabled = true;
+    // Spans and latency histograms answer the same "where does time
+    // go" question; an armed tracer implies the distributions too.
+    Metrics::enableHistograms();
+}
+
+void
+disableTracing()
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    detail::gEnabled = false;
+    s.pending.clear();
+    if (s.fd >= 0)
+        ::close(s.fd);
+    s.fd = -1;
+    s.mergedPath.clear();
+    s.shardDir.clear();
+}
+
+void
+flushTrace()
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    if (detail::gEnabled)
+        flushLocked(s, detail::nowNs());
+}
+
+std::string
+tracePath()
+{
+    TracerState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.mergedPath;
+}
+
+void
+setProcessName(const std::string &name)
+{
+    if (!enabled())
+        return;
+    appendEvent("process_name", "__metadata", 'M', detail::nowNs(), 0,
+                false, Args().add("name", name).str());
+}
+
+void
+setClockForTest(uint64_t (*clock)())
+{
+    gClockFn = clock;
+}
+
+MergeStats
+mergeTrace()
+{
+    MergeStats stats;
+    TracerState &s = state();
+    std::string mergedPath, shardDir;
+    {
+        std::lock_guard<std::mutex> lock(s.mutex);
+        if (!detail::gEnabled)
+            return stats;
+        flushLocked(s, detail::nowNs());
+        mergedPath = s.mergedPath;
+        shardDir = s.shardDir;
+        if (s.fd >= 0)
+            ::close(s.fd);
+        s.fd = -1;
+    }
+
+    // Collect every shard's valid events. A line that does not parse
+    // as a complete trace event — the torn tail of a killed writer —
+    // is skipped; a shard with no valid line at all is skipped whole.
+    struct Ev
+    {
+        double ts;
+        std::string line;
+    };
+    std::vector<Ev> events;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(shardDir, ec);
+    if (!ec) {
+        std::vector<std::filesystem::path> shards;
+        for (const auto &entry : it) {
+            const std::string base = entry.path().filename().string();
+            if (base.rfind("shard.", 0) == 0)
+                shards.push_back(entry.path());
+        }
+        std::sort(shards.begin(), shards.end());
+        for (const auto &shard : shards) {
+            std::string content;
+            if (!readFile(shard.string(), content)) {
+                ++stats.tornShards;
+                continue;
+            }
+            size_t valid = 0;
+            size_t pos = 0;
+            while (pos < content.size()) {
+                size_t nl = content.find('\n', pos);
+                if (nl == std::string::npos)
+                    nl = content.size();
+                std::string line = content.substr(pos, nl - pos);
+                pos = nl + 1;
+                if (line.empty())
+                    continue;
+                json::Value ev;
+                if (!json::parse(line, ev) || !ev.isObject() ||
+                    !ev.find("name") || !ev.find("ph") ||
+                    !ev.find("ts") ||
+                    ev.find("ts")->type !=
+                        json::Value::Type::Number) {
+                    ++stats.tornLines;
+                    continue;
+                }
+                events.push_back(
+                    {ev.find("ts")->number, std::move(line)});
+                ++valid;
+            }
+            if (valid == 0)
+                ++stats.tornShards;
+            else
+                ++stats.shards;
+        }
+    }
+    std::stable_sort(events.begin(), events.end(),
+                     [](const Ev &a, const Ev &b) {
+                         return a.ts < b.ts;
+                     });
+    stats.events = events.size();
+
+    // The merged file is written tmp + rename directly (not through
+    // atomicWriteFile, whose own io span would re-enter the tracer
+    // mid-merge).
+    std::string out;
+    out.reserve(events.size() * 128 + 64);
+    out += "{\"traceEvents\":[\n";
+    for (size_t i = 0; i < events.size(); ++i) {
+        out += events[i].line;
+        if (i + 1 < events.size())
+            out += ',';
+        out += '\n';
+    }
+    out += "],\"displayTimeUnit\":\"ms\"}\n";
+    const std::string tmp =
+        mergedPath + ".tmp." + std::to_string(::getpid());
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f) {
+        warn("trace: cannot write %s: %s", tmp.c_str(),
+             std::strerror(errno));
+        return stats;
+    }
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fclose(f);
+    if (std::rename(tmp.c_str(), mergedPath.c_str()) != 0) {
+        warn("trace: rename %s -> %s failed: %s", tmp.c_str(),
+             mergedPath.c_str(), std::strerror(errno));
+        std::remove(tmp.c_str());
+        return stats;
+    }
+    std::filesystem::remove_all(shardDir, ec);
+
+    Metrics &metrics = Metrics::global();
+    metrics.counter("trace.shards_merged").add(stats.shards);
+    metrics.counter("trace.events_merged").add(stats.events);
+    if (stats.tornShards)
+        metrics.counter("trace.shards_torn").add(stats.tornShards);
+    if (stats.tornLines)
+        metrics.counter("trace.lines_torn").add(stats.tornLines);
+    inform("trace: merged %zu events from %zu shards into %s%s",
+           stats.events, stats.shards, mergedPath.c_str(),
+           stats.tornShards || stats.tornLines
+               ? " (torn shards skipped)"
+               : "");
+    return stats;
+}
+
+} // namespace obs
+} // namespace xps

@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Span-based tracing for the exploration pipeline (DESIGN.md §10).
+ *
+ * When XPS_TRACE_JSON names a file (or configureTracing() is called),
+ * every process of a run records trace events — spans with a start
+ * and a duration, instant events, and process-name metadata — into a
+ * per-pid shard file `<trace>.shards/shard.<pid>.jsonl`, one JSON
+ * event per line in the Chrome trace-event schema. At exit the
+ * process that armed tracing merges every shard into one
+ * chrome://tracing / Perfetto-loadable timeline at XPS_TRACE_JSON,
+ * sorted by timestamp and keyed by real pid/tid — a quarantined
+ * worker's last flushed spans land next to the supervisor's kill and
+ * retry events.
+ *
+ * Timestamps come from the monotonic clock (CLOCK_MONOTONIC via
+ * steady_clock), whose epoch is shared by every process of the fork
+ * tree, so merged shards order correctly without any cross-process
+ * handshake. Shards are append-only and line-framed: a worker killed
+ * mid-write tears at most its last line, and the merger validates
+ * every line (obs/json.hh) and skips torn tails — and whole torn
+ * shards — rather than corrupting the merged timeline.
+ *
+ * Hot-path discipline (the util/fault pattern): with tracing disabled
+ * every instrumentation point costs one predicted branch on a
+ * process-global flag — perf_microbench is unchanged. Args strings
+ * are built lazily, only when the branch is taken.
+ *
+ * Knobs: XPS_TRACE_JSON (merged output path; arms tracing),
+ * XPS_TRACE_BUFFER_KB (per-process buffered bytes before a shard
+ * flush, default 64; the buffer also drains on a ~250 ms cadence so
+ * a hung worker's recent spans reach its shard before the SIGKILL).
+ */
+
+#ifndef XPS_OBS_TRACER_HH
+#define XPS_OBS_TRACER_HH
+
+#include <cstdint>
+#include <string>
+
+namespace xps
+{
+namespace obs
+{
+
+namespace detail
+{
+/** True iff tracing is armed; the only cost of a disabled site. */
+extern bool gEnabled;
+
+/** Monotonic nanoseconds (or the test clock shim). */
+uint64_t nowNs();
+
+/** Record a completed span. `argsJson` is "" or a JSON object. */
+void emitSpan(const char *name, const char *cat, uint64_t beginNs,
+              uint64_t endNs, std::string argsJson);
+
+/** Record an instant event. */
+void emitInstant(const char *name, const char *cat,
+                 std::string argsJson);
+} // namespace detail
+
+/** True iff tracing is armed (one predicted branch when off). */
+inline bool
+enabled()
+{
+    return __builtin_expect(detail::gEnabled, 0);
+}
+
+/** Incrementally build the JSON args object of an event. Build one
+ *  only under `if (obs::enabled())` or a lazy-args lambda. */
+class Args
+{
+  public:
+    Args &add(const char *key, const std::string &value);
+    Args &add(const char *key, const char *value);
+    Args &add(const char *key, double value);
+    Args &add(const char *key, uint64_t value);
+    Args &add(const char *key, int value);
+    std::string str() const { return "{" + body_ + "}"; }
+
+  private:
+    void key(const char *k);
+    std::string body_;
+};
+
+/**
+ * RAII span: measures construction-to-destruction and records one
+ * complete ("ph":"X") event. The lazy-args overload only invokes
+ * `argsFn` (returning Args or a JSON-object string) when tracing is
+ * armed.
+ */
+class ScopedSpan
+{
+  public:
+    ScopedSpan(const char *name, const char *cat)
+        : name_(name), cat_(cat), armed_(enabled()),
+          begin_(armed_ ? detail::nowNs() : 0)
+    {
+    }
+
+    template <typename ArgsFn>
+    ScopedSpan(const char *name, const char *cat, ArgsFn &&argsFn)
+        : ScopedSpan(name, cat)
+    {
+        if (armed_)
+            args_ = toJson(argsFn());
+    }
+
+    ~ScopedSpan()
+    {
+        if (armed_)
+            detail::emitSpan(name_, cat_, begin_, detail::nowNs(),
+                             std::move(args_));
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+  private:
+    static std::string toJson(const Args &args) { return args.str(); }
+    static std::string toJson(std::string json) { return json; }
+
+    const char *name_;
+    const char *cat_;
+    bool armed_;
+    uint64_t begin_;
+    std::string args_;
+};
+
+/** Record an instant event (no-op unless tracing is armed). */
+inline void
+instant(const char *name, const char *cat)
+{
+    if (enabled())
+        detail::emitInstant(name, cat, std::string());
+}
+
+/** Instant event with lazily built args. */
+template <typename ArgsFn>
+inline void
+instant(const char *name, const char *cat, ArgsFn &&argsFn)
+{
+    if (enabled())
+        detail::emitInstant(name, cat, argsFn().str());
+}
+
+/** Outcome of merging trace shards into the final timeline. */
+struct MergeStats
+{
+    size_t shards = 0;     ///< shard files merged
+    size_t events = 0;     ///< events in the merged timeline
+    size_t tornShards = 0; ///< shard files skipped entirely
+    size_t tornLines = 0;  ///< invalid trailing/interior lines skipped
+};
+
+/**
+ * Arm tracing programmatically (tools and tests; production arms from
+ * XPS_TRACE_JSON at startup). Resets per-process buffers, points the
+ * shard directory at `<mergedPath>.shards/`, and marks this process
+ * as the merger-at-exit. `bufferKb` 0 means the XPS_TRACE_BUFFER_KB
+ * default.
+ */
+void configureTracing(const std::string &mergedPath,
+                      uint64_t bufferKb = 0);
+
+/** Disarm tracing and drop any unflushed events (tests). */
+void disableTracing();
+
+/** Write this process's buffered events to its shard file. Called
+ *  automatically on buffer pressure and by the worker-pool child
+ *  right before _exit(). */
+void flushTrace();
+
+/**
+ * Flush, then merge every shard under the shard directory into the
+ * merged timeline file and remove the shard directory. Torn shards
+ * and torn lines are counted and skipped. Runs automatically at exit
+ * in the process that armed tracing; exposed for tests and tools.
+ */
+MergeStats mergeTrace();
+
+/** The merged-output path ("" when tracing is disarmed). */
+std::string tracePath();
+
+/** Label this process in the merged timeline (a "process_name"
+ *  metadata event; the supervisor and each worker call it). */
+void setProcessName(const std::string &name);
+
+/** Install a deterministic clock for tests (nullptr restores the
+ *  monotonic clock). The function returns nanoseconds. */
+void setClockForTest(uint64_t (*clock)());
+
+} // namespace obs
+} // namespace xps
+
+#endif // XPS_OBS_TRACER_HH

@@ -3,20 +3,58 @@
 #include <memory>
 
 #include "check/invariant_checker.hh"
+#include "obs/tracer.hh"
 #include "sim/ooo_core.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 #include "workload/generator.hh"
 #include "workload/trace.hh"
 
 namespace xps
 {
 
+namespace
+{
+
+/** sim.run span plus the sim.run latency histogram; one predicted
+ *  branch each when observability is off. */
+class SimRunObserver
+{
+  public:
+    SimRunObserver(const WorkloadProfile &profile,
+                   const SimOptions &opts)
+        : span_("sim.run", "sim",
+                [&] {
+                    return obs::Args()
+                        .add("workload", profile.name)
+                        .add("instrs", opts.measureInstrs);
+                }),
+          begin_(Metrics::histogramsEnabled() ? obs::detail::nowNs()
+                                              : 0)
+    {
+    }
+
+    ~SimRunObserver()
+    {
+        if (begin_)
+            Metrics::global().histogram("sim.run").record(
+                obs::detail::nowNs() - begin_);
+    }
+
+  private:
+    obs::ScopedSpan span_;
+    uint64_t begin_;
+};
+
+} // namespace
+
 SimStats
 simulate(const WorkloadProfile &profile, const CoreConfig &config,
          const SimOptions &opts)
 {
     XPS_FAULT_POINT("sim.run");
+    SimRunObserver observer(profile, opts);
     OooCore core(config);
     std::unique_ptr<InvariantChecker> owned;
     if (opts.checker) {

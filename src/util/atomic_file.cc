@@ -14,6 +14,7 @@
 #include <random>
 #include <sstream>
 
+#include "obs/tracer.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
@@ -116,6 +117,14 @@ void
 atomicWriteFile(const std::string &path, const std::string &content,
                 const char *faultSite)
 {
+    // The tracer's own merge path deliberately bypasses this function
+    // (tmp + rename by hand): this span must never re-enter the
+    // tracer mid-merge.
+    obs::ScopedSpan span("atomic_file.write", "io", [&] {
+        return obs::Args()
+            .add("path", path)
+            .add("bytes", static_cast<uint64_t>(content.size()));
+    });
     const std::filesystem::path fs_path(path);
     if (fs_path.has_parent_path()) {
         std::error_code ec;

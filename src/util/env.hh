@@ -36,6 +36,14 @@
  *                        (default 2, i.e. three attempts total)
  *   XPS_FAULTS           deterministic fault schedule,
  *                        "site:kind:nth[:seed],..." (util/fault.hh)
+ *   XPS_TRACE_JSON       when set, arm the span tracer (obs/tracer.hh)
+ *                        and merge every process's trace shard into a
+ *                        Perfetto-loadable timeline at this path at
+ *                        exit; disabled tracing costs one predicted
+ *                        branch per instrumentation point
+ *   XPS_TRACE_BUFFER_KB  per-process buffered trace bytes before a
+ *                        shard flush (default 64); the buffer also
+ *                        drains on a ~250 ms cadence
  *
  * Malformed numeric values (garbage, overflow, and negatives where a
  * count is expected) warn once and fall back to the documented

@@ -1,5 +1,6 @@
 #include "util/metrics.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 
@@ -9,6 +10,11 @@
 
 namespace xps
 {
+
+namespace detail
+{
+bool gHistogramsEnabled = false;
+} // namespace detail
 
 namespace
 {
@@ -23,16 +29,98 @@ dumpGlobalAtExit()
 
 } // namespace
 
+double
+Histogram::meanNs() const
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+           static_cast<double>(n);
+}
+
+uint64_t
+Histogram::bucketLowNs(size_t index)
+{
+    if (index < 8)
+        return index;
+    const int e = static_cast<int>((index - 8) / 4) + 3;
+    const uint64_t sub = (index - 8) & 3;
+    return (1ull << e) + sub * (1ull << (e - 2));
+}
+
+uint64_t
+Histogram::quantileNs(double q) const
+{
+    const uint64_t n = count();
+    if (n == 0)
+        return 0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Rank of the q-th sample (1-based), then walk the cumulative
+    // bucket counts until it is covered.
+    const uint64_t rank = std::max<uint64_t>(
+        1, static_cast<uint64_t>(q * static_cast<double>(n) + 0.5));
+    uint64_t seen = 0;
+    for (size_t i = 0; i < kBuckets; ++i) {
+        seen += buckets_[i].load(std::memory_order_relaxed);
+        if (seen >= rank) {
+            const uint64_t lo = bucketLowNs(i);
+            const uint64_t hi = i + 1 < kBuckets
+                                    ? bucketLowNs(i + 1)
+                                    : lo;
+            // The top bucket's midpoint can overshoot the largest
+            // recorded sample; never report a quantile above the max.
+            return std::min(lo + (hi - lo) / 2, maxNs());
+        }
+    }
+    return maxNs();
+}
+
+void
+Histogram::reset()
+{
+    for (auto &bucket : buckets_)
+        bucket.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+    max_.store(0, std::memory_order_relaxed);
+}
+
 Metrics &
 Metrics::global()
 {
     static Metrics *instance = [] {
         auto *m = new Metrics();
-        if (!envString("XPS_METRICS_JSON", "").empty())
+        if (!envString("XPS_METRICS_JSON", "").empty()) {
             std::atexit(dumpGlobalAtExit);
+            // A metrics consumer wants the latency distributions too.
+            enableHistograms();
+        }
         return m;
     }();
     return *instance;
+}
+
+void
+Metrics::enableHistograms()
+{
+    detail::gHistogramsEnabled = true;
+}
+
+void
+Metrics::disableHistogramsForTest()
+{
+    detail::gHistogramsEnabled = false;
+}
+
+Histogram &
+Metrics::histogram(const std::string &name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return histograms_[name];
 }
 
 Counter &
@@ -60,6 +148,18 @@ Metrics::snapshot() const
     snap.timers.reserve(timers_.size());
     for (const auto &[name, seconds] : timers_)
         snap.timers.emplace_back(name, seconds);
+    snap.histograms.reserve(histograms_.size());
+    for (const auto &[name, histogram] : histograms_) {
+        if (histogram.count() == 0)
+            continue; // registered but never fed: not worth a row
+        HistogramSummary summary;
+        summary.count = histogram.count();
+        summary.p50Ns = histogram.quantileNs(0.50);
+        summary.p95Ns = histogram.quantileNs(0.95);
+        summary.maxNs = histogram.maxNs();
+        summary.meanNs = histogram.meanNs();
+        snap.histograms.emplace_back(name, summary);
+    }
     return snap;
 }
 
@@ -82,7 +182,21 @@ Metrics::toJson() const
         out << (i ? ",\n    " : "\n    ") << '"' << snap.timers[i].first
             << "\": " << buf;
     }
-    out << (snap.timers.empty() ? "" : "\n  ") << "}\n}\n";
+    out << (snap.timers.empty() ? "" : "\n  ") << "}";
+    if (!snap.histograms.empty()) {
+        out << ",\n  \"histograms_ns\": {";
+        for (size_t i = 0; i < snap.histograms.size(); ++i) {
+            const HistogramSummary &h = snap.histograms[i].second;
+            std::snprintf(buf, sizeof(buf), "%.1f", h.meanNs);
+            out << (i ? ",\n    " : "\n    ") << '"'
+                << snap.histograms[i].first << "\": {\"count\": "
+                << h.count << ", \"p50\": " << h.p50Ns
+                << ", \"p95\": " << h.p95Ns << ", \"max\": " << h.maxNs
+                << ", \"mean\": " << buf << '}';
+        }
+        out << "\n  }";
+    }
+    out << "\n}\n";
     return out.str();
 }
 
@@ -94,6 +208,8 @@ Metrics::reset()
     std::lock_guard<std::mutex> lock(mutex_);
     for (auto &[name, counter] : counters_)
         counter.reset();
+    for (auto &[name, histogram] : histograms_)
+        histogram.reset();
     timers_.clear();
 }
 

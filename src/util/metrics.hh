@@ -11,11 +11,20 @@
  *   sim.evaluations          anneal.accepts / anneal.rejects /
  *   anneal.rollbacks         trace_cache.hits / trace_cache.misses
  *   checkpoint.writes        explore.anneal_seconds
+ *
+ * Latency distributions (DESIGN.md §10): log-scaled Histograms record
+ * nanosecond durations of sim runs, anneal steps and worker jobs.
+ * They are off by default — recording needs a clock read per event,
+ * which the annealing microbenchmark would notice — and armed by
+ * Metrics::enableHistograms() (implied by XPS_METRICS_JSON, an armed
+ * tracer, or the bench harness). Call sites guard the clock reads
+ * with the one-predicted-branch Metrics::histogramsEnabled().
  */
 
 #ifndef XPS_UTIL_METRICS_HH
 #define XPS_UTIL_METRICS_HH
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -26,6 +35,12 @@
 
 namespace xps
 {
+
+namespace detail
+{
+/** True iff histogram recording is armed (see enableHistograms). */
+extern bool gHistogramsEnabled;
+} // namespace detail
 
 /** One monotonic counter; handles stay valid for process lifetime. */
 class Counter
@@ -54,6 +69,75 @@ class Counter
     std::atomic<uint64_t> value_{0};
 };
 
+/**
+ * Log-scaled latency histogram over nanosecond durations. Buckets are
+ * power-of-two octaves split into 4 sub-buckets (2 mantissa bits), so
+ * relative bucket error is <= 25% across the full uint64 range with a
+ * fixed 256-slot table — no allocation, one relaxed atomic add per
+ * record. Quantiles are read from the cumulative bucket walk and
+ * reported as the bucket midpoint.
+ */
+class Histogram
+{
+  public:
+    static constexpr size_t kBuckets = 256;
+
+    void
+    record(uint64_t ns)
+    {
+        buckets_[bucketIndex(ns)].fetch_add(
+            1, std::memory_order_relaxed);
+        count_.fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(ns, std::memory_order_relaxed);
+        uint64_t seen = max_.load(std::memory_order_relaxed);
+        while (ns > seen &&
+               !max_.compare_exchange_weak(
+                   seen, ns, std::memory_order_relaxed))
+            ;
+    }
+
+    uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    uint64_t
+    maxNs() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    /** Mean in nanoseconds (0 when empty). */
+    double meanNs() const;
+
+    /** Approximate quantile (q in [0,1]) in nanoseconds. */
+    uint64_t quantileNs(double q) const;
+
+    /** Zero every bucket (Metrics::reset(); tests only). */
+    void reset();
+
+    /** ns -> bucket index (exposed for tests). */
+    static size_t
+    bucketIndex(uint64_t ns)
+    {
+        if (ns < 8)
+            return static_cast<size_t>(ns);
+        const int e = 63 - __builtin_clzll(ns);
+        const uint64_t sub = (ns >> (e - 2)) & 3;
+        return static_cast<size_t>((e - 3) * 4 + 8 + sub);
+    }
+
+    /** Inclusive lower bound of a bucket (exposed for tests). */
+    static uint64_t bucketLowNs(size_t index);
+
+  private:
+    std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+    std::atomic<uint64_t> count_{0};
+    std::atomic<uint64_t> sum_{0};
+    std::atomic<uint64_t> max_{0};
+};
+
 /** The registry. Use Metrics::global() for the process instance. */
 class Metrics
 {
@@ -69,16 +153,48 @@ class Metrics
     /** Accumulate wall time into a named timer. */
     void addSeconds(const std::string &name, double seconds);
 
-    /** Point-in-time copy of every counter and timer. */
+    /** Look up (or create) a histogram; the reference stays valid
+     *  for the registry lifetime — hot paths must cache it. */
+    Histogram &histogram(const std::string &name);
+
+    /** One predicted branch: should call sites pay the clock reads
+     *  that feed Histogram::record()? */
+    static bool
+    histogramsEnabled()
+    {
+        return __builtin_expect(detail::gHistogramsEnabled, 0);
+    }
+
+    /** Arm histogram recording process-wide (sticky). Implied by
+     *  XPS_METRICS_JSON, obs::configureTracing() and the benches. */
+    static void enableHistograms();
+
+    /** Disarm histogram recording (tests only). */
+    static void disableHistogramsForTest();
+
+    /** Point-in-time summary of one histogram. */
+    struct HistogramSummary
+    {
+        uint64_t count = 0;
+        uint64_t p50Ns = 0;
+        uint64_t p95Ns = 0;
+        uint64_t maxNs = 0;
+        double meanNs = 0.0;
+    };
+
+    /** Point-in-time copy of every counter, timer and histogram. */
     struct Snapshot
     {
         std::vector<std::pair<std::string, uint64_t>> counters;
         std::vector<std::pair<std::string, double>> timers;
+        std::vector<std::pair<std::string, HistogramSummary>>
+            histograms;
     };
     Snapshot snapshot() const;
 
-    /** Render the registry as a JSON object
-     *  {"counters": {...}, "timers_seconds": {...}}. */
+    /** Render the registry as a JSON object {"counters": {...},
+     *  "timers_seconds": {...}, "histograms_ns": {...}} (the last
+     *  section only when any histogram has samples). */
     std::string toJson() const;
 
     /** Zero every counter and timer (tests). */
@@ -89,9 +205,11 @@ class Metrics
 
   private:
     mutable std::mutex mutex_;
-    // node-based map: Counter references remain stable across inserts.
+    // node-based maps: Counter / Histogram references remain stable
+    // across inserts.
     std::map<std::string, Counter> counters_;
     std::map<std::string, double> timers_;
+    std::map<std::string, Histogram> histograms_;
 };
 
 /** RAII wall-clock timer accumulating into Metrics on destruction. */

@@ -16,6 +16,7 @@
 #include <cstring>
 #include <deque>
 
+#include "obs/tracer.hh"
 #include "util/env.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -33,6 +34,23 @@ double
 seconds(Clock::duration d)
 {
     return std::chrono::duration<double>(d).count();
+}
+
+/** Monotonic seconds since the (fork-tree-shared) clock epoch; the
+ *  scale ProcAttempt stamps and the trace timeline agree on. */
+double
+monoSeconds(Clock::time_point t)
+{
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+uint64_t
+monoNs(Clock::time_point t)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            t.time_since_epoch())
+            .count());
 }
 
 /* Child-side heartbeat state, set up right after fork. */
@@ -81,6 +99,7 @@ ProcPool::beat()
     // drained the pipe a skipped beat is harmless (the byte already
     // in the buffer proves liveness).
     [[maybe_unused]] const ssize_t n = ::write(g_beat_fd, "b", 1);
+    obs::instant("pool.beat", "pool");
 }
 
 std::vector<ProcJobOutcome>
@@ -117,6 +136,11 @@ ProcPool::run(const std::vector<ProcJob> &jobs)
         if (o.attempts >= opts_.maxAttempts) {
             o.status = ProcJobOutcome::Status::Quarantined;
             metrics.counter("supervisor.jobs_quarantined").add();
+            obs::instant("pool.quarantine", "pool", [&] {
+                return obs::Args()
+                    .add("job", jobs[j].name)
+                    .add("reason", why);
+            });
             warn("procpool: quarantining job '%s' after %d attempts "
                  "(last failure: %s)", jobs[j].name.c_str(), o.attempts,
                  why.c_str());
@@ -133,6 +157,14 @@ ProcPool::run(const std::vector<ProcJob> &jobs)
                    (static_cast<double>(r >> 11) * 0x1.0p-53);
         metrics.counter("supervisor.job_retries").add();
         metrics.addSeconds("supervisor.backoff_seconds", backoff);
+        if (!o.attemptLog.empty())
+            o.attemptLog.back().backoffSeconds = backoff;
+        obs::instant("pool.retry", "pool", [&] {
+            return obs::Args()
+                .add("job", jobs[j].name)
+                .add("attempt", o.attempts)
+                .add("backoff_ms", backoff * 1e3);
+        });
         pending.push_back(
             {j, Clock::now() + std::chrono::duration_cast<Clock::duration>(
                                    std::chrono::duration<double>(backoff))});
@@ -170,17 +202,62 @@ ProcPool::run(const std::vector<ProcJob> &jobs)
                                   ? opts_.heartbeatTimeoutSeconds / 8.0
                                   : 0.05;
             XPS_FAULT_POINT("worker.start");
+            obs::setProcessName("worker:" + jobs[j].name);
             int rc = 125;
-            try {
-                rc = jobs[j].run();
-            } catch (...) {
-                rc = 125;
+            {
+                obs::ScopedSpan span("pool.job", "pool", [&] {
+                    return obs::Args().add("job", jobs[j].name);
+                });
+                try {
+                    rc = jobs[j].run();
+                } catch (...) {
+                    rc = 125;
+                }
             }
+            // _exit skips atexit handlers; push this worker's spans
+            // to its shard explicitly or they die with the process.
+            obs::flushTrace();
             ::_exit(rc & 0xff);
         }
         ::close(pipe_fds[1]);
+        obs::instant("pool.spawn", "pool", [&] {
+            return obs::Args()
+                .add("job", jobs[j].name)
+                .add("worker_pid", static_cast<int>(pid))
+                .add("attempt", outcomes[j].attempts + 1);
+        });
         const auto now = Clock::now();
         active.push_back({j, pid, pipe_fds[0], now, now});
+    };
+
+    // Record one finished attempt: timing + exit detail for the
+    // supervisor report, a pool.attempt span for the timeline, and
+    // the job-latency histogram sample.
+    auto recordAttempt = [&](const Active &a, Clock::time_point end,
+                             std::string outcome, int exitCode,
+                             int sig) {
+        ProcJobOutcome &o = outcomes[a.job];
+        ProcAttempt attempt;
+        attempt.attempt = o.attempts;
+        attempt.startMonoSeconds = monoSeconds(a.start);
+        attempt.endMonoSeconds = monoSeconds(end);
+        attempt.outcome = std::move(outcome);
+        attempt.exitCode = exitCode;
+        attempt.signal = sig;
+        if (obs::enabled()) {
+            obs::detail::emitSpan(
+                "pool.attempt", "pool", monoNs(a.start), monoNs(end),
+                obs::Args()
+                    .add("job", jobs[a.job].name)
+                    .add("worker_pid", static_cast<int>(a.pid))
+                    .add("attempt", attempt.attempt)
+                    .add("outcome", attempt.outcome)
+                    .str());
+        }
+        if (Metrics::histogramsEnabled())
+            metrics.histogram("pool.job").record(
+                monoNs(end) - monoNs(a.start));
+        o.attemptLog.push_back(std::move(attempt));
     };
 
     // Reap one active slot whose child exited on its own.
@@ -192,18 +269,27 @@ ProcPool::run(const std::vector<ProcJob> &jobs)
         o.attempts += 1;
         if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
             if (jobs[a.job].onSuccess && !jobs[a.job].onSuccess()) {
+                recordAttempt(a, Clock::now(), "merge rejected", 0, 0);
                 failAttempt(a.job, false,
                             "result rejected by the merge step");
                 return;
             }
+            recordAttempt(a, Clock::now(), "ok", 0, 0);
             o.status = ProcJobOutcome::Status::Done;
             return;
         }
         std::string why;
-        if (WIFSIGNALED(status))
+        if (WIFSIGNALED(status)) {
             why = "killed by signal " + std::to_string(WTERMSIG(status));
-        else
+            recordAttempt(a, Clock::now(),
+                          "signal " + std::to_string(WTERMSIG(status)),
+                          -1, WTERMSIG(status));
+        } else {
             why = "exit code " + std::to_string(WEXITSTATUS(status));
+            recordAttempt(a, Clock::now(),
+                          "exit " + std::to_string(WEXITSTATUS(status)),
+                          WEXITSTATUS(status), 0);
+        }
         failAttempt(a.job, false, why);
     };
 
@@ -263,10 +349,18 @@ ProcPool::run(const std::vector<ProcJob> &jobs)
             }
             const Active a = active[i];
             active.erase(active.begin() + static_cast<long>(i));
+            obs::instant("pool.kill", "pool", [&] {
+                return obs::Args()
+                    .add("job", jobs[a.job].name)
+                    .add("worker_pid", static_cast<int>(a.pid))
+                    .add("reason", hung ? "hang" : "deadline");
+            });
             ::kill(a.pid, SIGKILL);
             ::waitpid(a.pid, &status, 0);
             ::close(a.pipeRd);
             outcomes[a.job].attempts += 1;
+            recordAttempt(a, t, hung ? "hang" : "deadline", -1,
+                          SIGKILL);
             char why[96];
             if (hung)
                 std::snprintf(why, sizeof(why),

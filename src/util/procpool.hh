@@ -79,6 +79,23 @@ struct ProcPoolOptions
     uint64_t jitterSeed = 1; ///< deterministic backoff jitter seed
 };
 
+/** One attempt of one job, as timed by the supervisor. Monotonic
+ *  stamps share the trace clock (steady_clock seconds), so report
+ *  tooling can line attempts up against the merged timeline. */
+struct ProcAttempt
+{
+    int attempt = 0;               ///< 1-based attempt number
+    double startMonoSeconds = 0.0; ///< fork observed (parent side)
+    double endMonoSeconds = 0.0;   ///< reap / kill observed
+    /** "ok", "merge rejected", "exit N", "signal N", "hang",
+     *  "deadline". */
+    std::string outcome;
+    int exitCode = -1; ///< valid when the child exited normally
+    int signal = 0;    ///< terminating signal (SIGKILL for kills)
+    /** Backoff applied before the next attempt (0 when none). */
+    double backoffSeconds = 0.0;
+};
+
 /** What happened to one job across all its attempts. */
 struct ProcJobOutcome
 {
@@ -92,6 +109,9 @@ struct ProcJobOutcome
     int crashes = 0;  ///< non-zero exits, signals, rejected merges
     int hangs = 0;    ///< heartbeat or deadline kills
     std::string lastError; ///< human-readable cause of the last failure
+    /** Every attempt in order, with timing and exit detail (feeds
+     *  supervisor_report.json and xps-report). */
+    std::vector<ProcAttempt> attemptLog;
 };
 
 /** The supervised pool. Stateless between run() calls. */

@@ -4,6 +4,7 @@
 #include <mutex>
 #include <utility>
 
+#include "obs/tracer.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
 #include "workload/generator.hh"
@@ -152,11 +153,29 @@ sharedTrace(const WorkloadProfile &profile, uint64_t stream_id,
     RegistryEntry &entry = registry()[key];
     if (entry.buf && entry.buf->size() >= want) {
         Metrics::global().counter("trace_cache.hits").add();
+        obs::instant("trace_cache.hit", "trace", [&] {
+            return obs::Args()
+                .add("workload", profile.name)
+                .add("ops", entry.buf->size());
+        });
         return entry.buf;
     }
+    const char *kind = entry.buf ? "grow" : "miss";
     Metrics::global().counter(entry.buf ? "trace_cache.grows"
                                         : "trace_cache.misses")
         .add();
+    obs::instant(entry.buf ? "trace_cache.grow" : "trace_cache.miss",
+                 "trace", [&] {
+                     return obs::Args()
+                         .add("workload", profile.name)
+                         .add("want_ops", want);
+                 });
+    obs::ScopedSpan generate_span("trace.generate", "trace", [&] {
+        return obs::Args()
+            .add("workload", profile.name)
+            .add("kind", kind)
+            .add("want_ops", want);
+    });
 
     if (!entry.gen) {
         entry.gen =

@@ -1,0 +1,574 @@
+/**
+ * @file
+ * The observability battery (`ctest -L obs`, DESIGN.md §10): the
+ * obs/json reader's closed-world guarantees, log-scaled histogram
+ * bucketing and quantiles, deterministic tracer output under a fixed
+ * clock shim, shard merging across interleaved pids, torn-shard and
+ * torn-line skipping, the checkpoint.write fault-injection scenario
+ * (a supervised traced exploration survives an injected worker crash
+ * and still merges a valid multi-process timeline), the forked-worker
+ * metrics-dump suppression regression, and the xps-report renderer.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "explore/explorer.hh"
+#include "obs/json.hh"
+#include "obs/report.hh"
+#include "obs/tracer.hh"
+#include "util/atomic_file.hh"
+#include "util/env.hh"
+#include "util/fault.hh"
+#include "util/metrics.hh"
+#include "util/procpool.hh"
+
+using namespace xps;
+
+namespace
+{
+
+std::string
+freshDir(const std::string &tag)
+{
+    const auto dir = std::filesystem::temp_directory_path() /
+                     ("xps_obs_" + tag + "_" +
+                      std::to_string(::getpid()));
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    return dir.string();
+}
+
+void
+writeRaw(const std::string &path, const std::string &content)
+{
+    std::filesystem::create_directories(
+        std::filesystem::path(path).parent_path());
+    std::ofstream out(path, std::ios::trunc | std::ios::binary);
+    out.write(content.data(),
+              static_cast<std::streamsize>(content.size()));
+}
+
+/** Deterministic test clock: +1 µs per reading. */
+uint64_t g_fake_now = 0;
+uint64_t
+fakeClock()
+{
+    g_fake_now += 1000;
+    return g_fake_now;
+}
+
+/** Events of a merged trace file (asserts the file is valid JSON). */
+std::vector<obs::json::Value>
+loadMergedEvents(const std::string &path)
+{
+    std::string content;
+    EXPECT_TRUE(readFile(path, content)) << path;
+    obs::json::Value root;
+    EXPECT_TRUE(obs::json::parse(content, root))
+        << "merged trace is not valid JSON: " << path;
+    EXPECT_TRUE(root.isObject());
+    const obs::json::Value *events = root.find("traceEvents");
+    EXPECT_NE(events, nullptr);
+    return events ? events->items : std::vector<obs::json::Value>{};
+}
+
+std::string
+shardLine(const char *name, double tsUs, int pid)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"name\":\"%s\",\"cat\":\"t\",\"ph\":\"X\","
+                  "\"ts\":%.3f,\"dur\":0.500,\"pid\":%d,\"tid\":1}\n",
+                  name, tsUs, pid);
+    return buf;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------- json
+
+TEST(ObsJson, ParsesObjectsArraysAndScalars)
+{
+    obs::json::Value v;
+    ASSERT_TRUE(obs::json::parse(
+        R"({"a": 1.5, "b": "x\ny", "c": [1, 2, 3], "d": true,
+            "e": null, "f": {"g": -2e3}})",
+        v));
+    ASSERT_TRUE(v.isObject());
+    EXPECT_DOUBLE_EQ(v.numberOr("a", 0), 1.5);
+    EXPECT_EQ(v.stringOr("b", ""), "x\ny");
+    ASSERT_NE(v.find("c"), nullptr);
+    EXPECT_TRUE(v.find("c")->isArray());
+    EXPECT_EQ(v.find("c")->items.size(), 3u);
+    EXPECT_TRUE(v.find("d")->boolean);
+    ASSERT_NE(v.find("f"), nullptr);
+    EXPECT_DOUBLE_EQ(v.find("f")->numberOr("g", 0), -2000.0);
+}
+
+TEST(ObsJson, RejectsTornInput)
+{
+    obs::json::Value v;
+    EXPECT_FALSE(obs::json::parse(R"({"name":"torn)", v));
+    EXPECT_FALSE(obs::json::parse(R"({"a": 1)", v));
+    EXPECT_FALSE(obs::json::parse(R"({"a": 1} trailing)", v));
+    EXPECT_FALSE(obs::json::parse("", v));
+    // A raw control character inside a string is a torn write, not
+    // content our emitters produce.
+    EXPECT_FALSE(obs::json::parse("{\"a\": \"x\001y\"}", v));
+}
+
+TEST(ObsJson, EscapeRoundTripsThroughParse)
+{
+    const std::string nasty = "a\"b\\c\nd\te\rf\001g";
+    obs::json::Value v;
+    ASSERT_TRUE(obs::json::parse(
+        "{\"k\": \"" + obs::json::escape(nasty) + "\"}", v));
+    EXPECT_EQ(v.stringOr("k", ""), nasty);
+}
+
+// ----------------------------------------------------------- histogram
+
+TEST(Histogram, BucketIndexIsMonotoneAndBounded)
+{
+    size_t prev = 0;
+    for (uint64_t ns = 0; ns < (1ull << 20); ns = ns * 2 + 1) {
+        const size_t idx = Histogram::bucketIndex(ns);
+        EXPECT_LT(idx, Histogram::kBuckets);
+        EXPECT_GE(idx, prev);
+        EXPECT_LE(Histogram::bucketLowNs(idx), ns);
+        prev = idx;
+    }
+    EXPECT_LT(Histogram::bucketIndex(~0ull), Histogram::kBuckets);
+}
+
+TEST(Histogram, QuantilesTrackAKnownDistribution)
+{
+    Histogram h;
+    for (uint64_t i = 1; i <= 1000; ++i)
+        h.record(i * 1000); // 1 µs .. 1 ms, uniform
+    EXPECT_EQ(h.count(), 1000u);
+    EXPECT_EQ(h.maxNs(), 1000000u);
+    EXPECT_NEAR(h.meanNs(), 500500.0, 1.0);
+    // Log buckets with 4 sub-buckets per octave: <= 25% relative
+    // error, plus the midpoint convention.
+    EXPECT_NEAR(static_cast<double>(h.quantileNs(0.50)), 500000.0,
+                0.30 * 500000.0);
+    EXPECT_NEAR(static_cast<double>(h.quantileNs(0.95)), 950000.0,
+                0.30 * 950000.0);
+    EXPECT_GE(h.quantileNs(1.0), h.quantileNs(0.5));
+    // Quantiles are bucket midpoints but must never exceed the
+    // largest recorded sample.
+    EXPECT_LE(h.quantileNs(0.95), h.maxNs());
+    EXPECT_LE(h.quantileNs(1.0), h.maxNs());
+    Histogram single;
+    single.record(5000000);
+    EXPECT_LE(single.quantileNs(0.95), 5000000u);
+    EXPECT_NEAR(static_cast<double>(single.quantileNs(0.95)),
+                5000000.0, 0.25 * 5000000.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.quantileNs(0.5), 0u);
+}
+
+TEST(Histogram, MetricsJsonCarriesSummaries)
+{
+    Metrics m;
+    m.histogram("lat.fed").record(4096);
+    m.histogram("lat.empty"); // never fed: must not appear
+    const std::string json = m.toJson();
+    obs::json::Value v;
+    ASSERT_TRUE(obs::json::parse(json, v)) << json;
+    const obs::json::Value *histograms = v.find("histograms_ns");
+    ASSERT_NE(histograms, nullptr);
+    const obs::json::Value *fed = histograms->find("lat.fed");
+    ASSERT_NE(fed, nullptr);
+    EXPECT_EQ(static_cast<uint64_t>(fed->numberOr("count", 0)), 1u);
+    EXPECT_EQ(static_cast<uint64_t>(fed->numberOr("max", 0)), 4096u);
+    EXPECT_EQ(histograms->find("lat.empty"), nullptr);
+}
+
+// -------------------------------------------------------------- tracer
+
+TEST(Tracer, DeterministicUnderFixedClockAndValidJson)
+{
+    const std::string dir = freshDir("det");
+    auto runOnce = [&](const std::string &path) {
+        g_fake_now = 0;
+        obs::setClockForTest(&fakeClock);
+        obs::configureTracing(path);
+        {
+            obs::ScopedSpan span("alpha", "test", [] {
+                return obs::Args().add("k", 1).add("s", "v");
+            });
+            obs::instant("tick", "test", [] {
+                return obs::Args().add("n", 2.5);
+            });
+        }
+        // Every line of the shard this process wrote must parse on
+        // its own (the merger's per-line contract).
+        obs::flushTrace();
+        const std::string shard =
+            path + ".shards/shard." + std::to_string(::getpid()) +
+            ".jsonl";
+        std::string content;
+        EXPECT_TRUE(readFile(shard, content));
+        std::istringstream lines(content);
+        std::string line;
+        size_t parsed = 0;
+        while (std::getline(lines, line)) {
+            obs::json::Value v;
+            EXPECT_TRUE(obs::json::parse(line, v)) << line;
+            ++parsed;
+        }
+        EXPECT_EQ(parsed, 2u);
+        const obs::MergeStats stats = obs::mergeTrace();
+        obs::disableTracing();
+        obs::setClockForTest(nullptr);
+        EXPECT_EQ(stats.shards, 1u);
+        EXPECT_EQ(stats.events, 2u);
+        EXPECT_EQ(stats.tornShards, 0u);
+        EXPECT_EQ(stats.tornLines, 0u);
+        std::string merged;
+        EXPECT_TRUE(readFile(path, merged));
+        return merged;
+    };
+    const std::string first = runOnce(dir + "/a.json");
+    const std::string second = runOnce(dir + "/b.json");
+    EXPECT_EQ(first, second); // fixed clock => byte-identical output
+
+    const std::vector<obs::json::Value> events =
+        loadMergedEvents(dir + "/a.json");
+    ASSERT_EQ(events.size(), 2u);
+    // Sorted by ts: the span began (2 µs) before the instant (3 µs).
+    EXPECT_EQ(events[0].stringOr("name", ""), "alpha");
+    EXPECT_DOUBLE_EQ(events[0].numberOr("ts", 0), 2.0);
+    EXPECT_DOUBLE_EQ(events[0].numberOr("dur", 0), 2.0);
+    EXPECT_EQ(events[1].stringOr("name", ""), "tick");
+    ASSERT_NE(events[0].find("args"), nullptr);
+    EXPECT_EQ(events[0].find("args")->stringOr("s", ""), "v");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Tracer, MergesInterleavedPidShards)
+{
+    const std::string dir = freshDir("interleave");
+    const std::string path = dir + "/trace.json";
+    writeRaw(path + ".shards/shard.100.jsonl",
+             shardLine("a1", 1.0, 100) + shardLine("a2", 5.0, 100) +
+                 shardLine("a3", 9.0, 100));
+    writeRaw(path + ".shards/shard.200.jsonl",
+             shardLine("b1", 2.0, 200) + shardLine("b2", 3.0, 200) +
+                 shardLine("b3", 10.0, 200));
+    obs::configureTracing(path);
+    const obs::MergeStats stats = obs::mergeTrace();
+    obs::disableTracing();
+    EXPECT_EQ(stats.shards, 2u);
+    EXPECT_EQ(stats.events, 6u);
+    const std::vector<obs::json::Value> events =
+        loadMergedEvents(path);
+    ASSERT_EQ(events.size(), 6u);
+    double prev = 0.0;
+    std::vector<int> pid_order;
+    for (const auto &ev : events) {
+        EXPECT_GE(ev.numberOr("ts", -1), prev); // globally sorted
+        prev = ev.numberOr("ts", -1);
+        pid_order.push_back(static_cast<int>(ev.numberOr("pid", 0)));
+    }
+    EXPECT_EQ(pid_order,
+              (std::vector<int>{100, 200, 200, 100, 100, 200}));
+    EXPECT_FALSE(std::filesystem::exists(path + ".shards"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Tracer, SkipsTornLinesAndTornShards)
+{
+    const std::string dir = freshDir("torn");
+    const std::string path = dir + "/trace.json";
+    // A shard whose writer died mid-line: the torn tail is dropped,
+    // the complete lines survive.
+    writeRaw(path + ".shards/shard.300.jsonl",
+             shardLine("ok1", 1.0, 300) + shardLine("ok2", 2.0, 300) +
+                 "{\"name\":\"torn-mid-wri");
+    // A shard with no valid line at all is skipped whole.
+    writeRaw(path + ".shards/shard.400.jsonl", "complete garbage\n");
+    obs::configureTracing(path);
+    const obs::MergeStats stats = obs::mergeTrace();
+    obs::disableTracing();
+    EXPECT_EQ(stats.shards, 1u);
+    EXPECT_EQ(stats.events, 2u);
+    EXPECT_EQ(stats.tornLines, 2u); // the torn tail + the garbage line
+    EXPECT_EQ(stats.tornShards, 1u);
+    const std::vector<obs::json::Value> events =
+        loadMergedEvents(path);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].stringOr("name", ""), "ok1");
+    EXPECT_EQ(events[1].stringOr("name", ""), "ok2");
+    std::filesystem::remove_all(dir);
+}
+
+// A traced, supervised, checkpointing exploration with an injected
+// checkpoint.write crash (the ISSUE's fault scenario): the worker
+// dies mid-round, the supervisor retries, and the merged timeline is
+// still one valid multi-process trace — with a hand-torn shard
+// skipped rather than corrupting it.
+TEST(TracerFault, SupervisedRunSurvivesCheckpointCrash)
+{
+    const std::string dir = freshDir("fault");
+    const std::string trace_path = dir + "/trace.json";
+    obs::configureTracing(trace_path);
+
+    ExplorerOptions opts;
+    opts.evalInstrs = 4000;
+    opts.saIters = 24;
+    opts.rounds = 2;
+    opts.threads = 1;
+    opts.seed = 11;
+    opts.finalEvalInstrs = 8000;
+    opts.checkpointEvery = 4;
+    opts.checkpointDir = dir + "/checkpoints";
+    opts.supervised = true;
+    opts.supervisorOpts.workers = 2;
+    opts.supervisorOpts.heartbeatTimeoutSeconds = 10.0;
+    opts.supervisorOpts.maxAttempts = 3;
+    opts.supervisorOpts.backoffBaseSeconds = 0.01;
+    opts.supervisorOpts.backoffCapSeconds = 0.05;
+    opts.supervisorOpts.workDir = dir + "/staging";
+
+    fault::armSchedule("checkpoint.write:crash:1");
+    Explorer explorer({profileByName("gzip"), profileByName("mcf")},
+                      opts);
+    const std::vector<WorkloadResult> results = explorer.exploreAll();
+    EXPECT_EQ(fault::firedCount(), 1u);
+    fault::armSchedule("");
+
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_GT(results[0].bestIpt, 0.0);
+    EXPECT_GE(explorer.supervisorReport().crashes, 1u);
+    // The enriched report carries per-attempt timing + exit detail.
+    bool saw_crash_attempt = false;
+    for (const auto &job : explorer.supervisorReport().jobs) {
+        for (const auto &attempt : job.attempts) {
+            EXPECT_GT(attempt.endMonoSeconds,
+                      attempt.startMonoSeconds);
+            if (attempt.outcome ==
+                "exit " + std::to_string(fault::kCrashExitCode))
+                saw_crash_attempt = true;
+        }
+    }
+    EXPECT_TRUE(saw_crash_attempt);
+
+    // Tear one shard by hand, as a SIGKILL mid-write would.
+    writeRaw(trace_path + ".shards/shard.999999.jsonl",
+             "{\"name\":\"torn-by-kil");
+    const obs::MergeStats stats = obs::mergeTrace();
+    obs::disableTracing();
+    EXPECT_GE(stats.tornShards, 1u);
+
+    const std::vector<obs::json::Value> events =
+        loadMergedEvents(trace_path);
+    std::set<int> pids;
+    std::set<std::string> names;
+    for (const auto &ev : events) {
+        pids.insert(static_cast<int>(ev.numberOr("pid", 0)));
+        names.insert(ev.stringOr("name", ""));
+    }
+    // Supervisor + at least two distinct workers on one timeline.
+    EXPECT_GE(pids.size(), 3u) << "pids in merged trace";
+    EXPECT_TRUE(pids.count(static_cast<int>(::getpid())));
+    EXPECT_TRUE(names.count("explore.all"));   // supervisor side
+    EXPECT_TRUE(names.count("pool.attempt"));  // supervisor side
+    EXPECT_TRUE(names.count("pool.job"));      // worker side
+    EXPECT_TRUE(names.count("anneal.accept")); // worker side
+    std::filesystem::remove_all(dir);
+}
+
+// ------------------------------------------------- metrics suppression
+
+TEST(WorkerMetrics, ForkedWorkerDoesNotClobberParentDump)
+{
+    const std::string dir = freshDir("metricsenv");
+    const std::string path = dir + "/metrics.json";
+    writeRaw(path, "SENTINEL");
+    ::setenv("XPS_METRICS_JSON", path.c_str(), 1);
+
+    ProcPoolOptions pool_opts;
+    pool_opts.workers = 1;
+    pool_opts.maxAttempts = 1;
+    ProcPool pool(pool_opts);
+    std::vector<ProcJob> jobs(1);
+    jobs[0].name = "envcheck";
+    jobs[0].run = [] {
+        // The suppression contract: the variable must be gone inside
+        // the worker, and even an exit() that runs atexit handlers
+        // must not dump a partial child registry over the parent's
+        // file.
+        if (!envString("XPS_METRICS_JSON", "").empty())
+            return 1;
+        Metrics::global().counter("worker.private").add();
+        std::exit(0);
+    };
+    const std::vector<ProcJobOutcome> outcomes = pool.run(jobs);
+    ::unsetenv("XPS_METRICS_JSON");
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_EQ(outcomes[0].status, ProcJobOutcome::Status::Done)
+        << outcomes[0].lastError;
+    std::string content;
+    ASSERT_TRUE(readFile(path, content));
+    EXPECT_EQ(content, "SENTINEL"); // untouched by the worker
+    std::filesystem::remove_all(dir);
+}
+
+// -------------------------------------------------------------- report
+
+TEST(Report, RendersSyntheticRun)
+{
+    const std::string dir = freshDir("report");
+    writeRaw(dir + "/metrics.json", R"({
+  "counters": {
+    "anneal.accepts": 60, "anneal.rejects": 40,
+    "anneal.rollbacks": 5, "anneal.evaluations": 100,
+    "trace_cache.hits": 8, "trace_cache.misses": 2,
+    "checkpoint.writes": 7
+  },
+  "timers_seconds": {"explore.anneal_seconds": 1.5},
+  "histograms_ns": {
+    "sim.run": {"count": 100, "p50": 1500000, "p95": 4000000,
+                "max": 9000000, "mean": 1800000.0}
+  }
+})");
+    // A small timeline with spans in two categories and anneal
+    // instants for one workload.
+    g_fake_now = 0;
+    obs::setClockForTest(&fakeClock);
+    obs::configureTracing(dir + "/trace.json");
+    {
+        obs::ScopedSpan sim("sim.run", "sim");
+        obs::ScopedSpan io("atomic_file.write", "io");
+    }
+    obs::instant("anneal.accept", "anneal", [] {
+        return obs::Args()
+            .add("workload", "gzip")
+            .add("step", 3)
+            .add("temp", 0.05)
+            .add("obj", 1.25);
+    });
+    obs::instant("anneal.rollback", "anneal", [] {
+        return obs::Args()
+            .add("workload", "gzip")
+            .add("step", 5)
+            .add("temp", 0.04)
+            .add("obj", 1.25);
+    });
+    obs::mergeTrace();
+    obs::disableTracing();
+    obs::setClockForTest(nullptr);
+
+    writeRaw(dir + "/supervisor_report.json", R"({
+  "worker_crashes": 1, "worker_hangs": 0, "job_retries": 1,
+  "jobs_quarantined": 1,
+  "quarantined": [
+    {"job": "mcf.round0", "attempts": 3, "last_error": "exit code 97"}
+  ],
+  "jobs": [
+    {"job": "gzip.round0", "status": "done", "attempts": [
+      {"attempt": 1, "start_mono_s": 10.0, "end_mono_s": 11.5,
+       "outcome": "exit 97", "exit_code": 97, "signal": 0,
+       "backoff_s": 0.01},
+      {"attempt": 2, "start_mono_s": 11.6, "end_mono_s": 13.0,
+       "outcome": "ok", "exit_code": 0, "signal": 0, "backoff_s": 0.0}
+    ]}
+  ]
+})");
+    std::filesystem::create_directories(dir + "/checkpoints");
+    writeRaw(dir + "/checkpoints/gzip.ckpt", "ckpt-bytes");
+
+    const obs::ReportPaths paths = obs::resolveReportPaths(dir);
+    EXPECT_EQ(paths.metrics, dir + "/metrics.json");
+    EXPECT_EQ(paths.trace, dir + "/trace.json");
+    ASSERT_EQ(paths.supervisorReports.size(), 1u);
+    const std::string report = obs::renderReport(paths);
+
+    EXPECT_NE(report.find("80.0% hit ratio"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("accept 60.0%"), std::string::npos);
+    EXPECT_NE(report.find("sim.run"), std::string::npos);
+    EXPECT_NE(report.find("time by span category"), std::string::npos);
+    EXPECT_NE(report.find("anneal convergence by workload"),
+              std::string::npos);
+    EXPECT_NE(report.find("gzip"), std::string::npos);
+    EXPECT_NE(report.find("QUARANTINED mcf.round0"),
+              std::string::npos);
+    EXPECT_NE(report.find("gzip.round0: done after 2 attempts"),
+              std::string::npos);
+    EXPECT_NE(report.find("attempt 1: exit 97"), std::string::npos);
+    EXPECT_NE(report.find("gzip.ckpt"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Report, MissingArtifactsDegradeGracefully)
+{
+    const std::string dir = freshDir("empty");
+    const std::string report =
+        obs::renderReport(obs::resolveReportPaths(dir));
+    EXPECT_NE(report.find("no metrics.json found"), std::string::npos);
+    EXPECT_NE(report.find("no trace.json found"), std::string::npos);
+    EXPECT_NE(report.find("no supervisor report"), std::string::npos);
+    EXPECT_NE(report.find("Checkpoints: none"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+// The enriched supervisor report is valid JSON and round-trips its
+// per-attempt detail through the obs/json reader xps-report uses.
+TEST(Report, SupervisorReportJsonRoundTrips)
+{
+    SupervisorReport report;
+    report.crashes = 2;
+    report.hangs = 1;
+    report.retries = 3;
+    report.quarantined.push_back({"bad\njob", 3, "exit \"97\""});
+    SupervisedJobRecord job;
+    job.name = "gzip.round0";
+    job.status = "done";
+    ProcAttempt attempt;
+    attempt.attempt = 1;
+    attempt.startMonoSeconds = 1.25;
+    attempt.endMonoSeconds = 2.5;
+    attempt.outcome = "hang";
+    attempt.exitCode = -1;
+    attempt.signal = 9;
+    attempt.backoffSeconds = 0.01;
+    job.attempts.push_back(attempt);
+    report.jobs.push_back(job);
+
+    obs::json::Value v;
+    ASSERT_TRUE(obs::json::parse(report.toJson(), v))
+        << report.toJson();
+    EXPECT_DOUBLE_EQ(v.numberOr("worker_crashes", 0), 2.0);
+    EXPECT_DOUBLE_EQ(v.numberOr("jobs_quarantined", 0), 1.0);
+    const obs::json::Value *quarantined = v.find("quarantined");
+    ASSERT_NE(quarantined, nullptr);
+    ASSERT_EQ(quarantined->items.size(), 1u);
+    EXPECT_EQ(quarantined->items[0].stringOr("job", ""), "bad\njob");
+    const obs::json::Value *jobs = v.find("jobs");
+    ASSERT_NE(jobs, nullptr);
+    ASSERT_EQ(jobs->items.size(), 1u);
+    const obs::json::Value *attempts = jobs->items[0].find("attempts");
+    ASSERT_NE(attempts, nullptr);
+    ASSERT_EQ(attempts->items.size(), 1u);
+    const obs::json::Value &a = attempts->items[0];
+    EXPECT_EQ(a.stringOr("outcome", ""), "hang");
+    EXPECT_DOUBLE_EQ(a.numberOr("start_mono_s", 0), 1.25);
+    EXPECT_DOUBLE_EQ(a.numberOr("end_mono_s", 0), 2.5);
+    EXPECT_DOUBLE_EQ(a.numberOr("signal", 0), 9.0);
+    EXPECT_DOUBLE_EQ(a.numberOr("backoff_s", 0), 0.01);
+}
