@@ -17,10 +17,12 @@
 
 #include "explore/annealer.hh"
 #include "explore/search_space.hh"
+#include "sim/batch.hh"
 #include "sim/simulator.hh"
 #include "timing/unit_timing.hh"
 #include "util/metrics.hh"
 #include "util/procpool.hh"
+#include "util/rng.hh"
 #include "workload/generator.hh"
 #include "workload/profile.hh"
 #include "workload/trace.hh"
@@ -52,8 +54,39 @@ struct SimPair
     std::string name;
     double streamingMs;
     double tracedMs;
+    /** ms per config: the 8-config frontier evaluated one scalar
+     *  simulate() at a time — the batched column's fair baseline
+     *  (the frontier's configs are costlier than `initial`). */
+    double frontierScalarMs;
+    /** ms per config of a full-fidelity 8-wide batch of the same
+     *  frontier (no screening): shared decode + shared warmup,
+     *  bit-identical results. */
+    double batchedMs;
     double speedup() const { return streamingMs / tracedMs; }
+    double batchedSpeedup() const { return frontierScalarMs / batchedMs; }
 };
+
+/** The frontier shape a batched annealing round proposes: the
+ *  initial config plus distinct neighbours along a seeded walk. */
+std::vector<CoreConfig>
+frontierConfigs(const SearchSpace &space, size_t count,
+                uint64_t seed)
+{
+    std::vector<CoreConfig> configs{space.initialConfig()};
+    Rng rng(seed);
+    while (configs.size() < count) {
+        CoreConfig cand;
+        if (!space.neighbor(configs.back(), rng, cand))
+            continue;
+        bool dup = false;
+        for (const CoreConfig &c : configs)
+            dup = dup ||
+                  configFingerprint(c) == configFingerprint(cand);
+        if (!dup) // duplicates would share a lane and flatter the batch
+            configs.push_back(cand);
+    }
+    return configs;
+}
 
 } // namespace
 
@@ -99,7 +132,13 @@ main(int argc, char **argv)
         (void)keep;
     }
 
-    // End-to-end simulate(): streaming vs traced.
+    UnitTiming timing;
+    SearchSpace space(timing);
+    constexpr uint32_t kBatchWidth = 8;
+
+    // End-to-end simulate(): streaming vs traced vs config-batched.
+    const std::vector<CoreConfig> frontier =
+        frontierConfigs(space, kBatchWidth, 17);
     std::vector<SimPair> sims;
     for (const char *name : {"gcc", "gzip", "mcf", "twolf"}) {
         const WorkloadProfile &profile = profileByName(name);
@@ -118,18 +157,36 @@ main(int argc, char **argv)
             volatile uint64_t c = simulate(profile, cfg, opts).cycles;
             (void)c;
         });
+        // The same 8-config frontier scalar vs batched; ms per
+        // config. Fresh simulator each rep so the result memo cannot
+        // hide the simulation cost.
+        pair.frontierScalarMs = minOfN(5, [&] {
+            for (const CoreConfig &c : frontier) {
+                SimOptions fopts = opts;
+                volatile uint64_t cyc =
+                    simulate(profile, c, fopts).cycles;
+                (void)cyc;
+            }
+        }) / static_cast<double>(kBatchWidth);
+        pair.batchedMs = minOfN(5, [&] {
+            BatchOptions bopts;
+            bopts.measureInstrs = kMeasure;
+            bopts.warmupInstrs = kWarmup;
+            BatchSimulator sim(opts.trace, bopts);
+            volatile uint64_t c = sim.evaluate(frontier)[0].cycles;
+            (void)c;
+        }) / static_cast<double>(kBatchWidth);
         sims.push_back(pair);
         std::printf("%-6s streaming %8.3f ms   traced %8.3f ms   "
-                    "speedup %.2fx\n",
+                    "speedup %.2fx   batched %8.3f ms/cfg %.2fx\n",
                     pair.name.c_str(), pair.streamingMs, pair.tracedMs,
-                    pair.speedup());
+                    pair.speedup(), pair.batchedMs,
+                    pair.batchedSpeedup());
     }
 
     // One annealer round (the inner loop this work targets).
     constexpr uint64_t kRoundIters = 20;
     constexpr uint64_t kRoundInstrs = 10000;
-    UnitTiming timing;
-    SearchSpace space(timing);
     auto round = [&](bool traced) {
         SimOptions opts;
         opts.measureInstrs = kRoundInstrs;
@@ -156,6 +213,48 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(kRoundInstrs),
                 roundStreamingMs, roundTracedMs,
                 roundStreamingMs / roundTracedMs);
+
+    // The same round with XPS_BATCH=8 semantics: frontiers of 8
+    // proposals scored through the batched simulator with
+    // successive-halving screening (sim/batch.hh). A fresh simulator
+    // per rep — every rep pays its own decode lookups, warmups and
+    // memo misses.
+    auto roundBatched = [&] {
+        const auto trace =
+            sharedTrace(gcc, 0, 2 * kRoundInstrs);
+        BatchOptions bopts;
+        bopts.measureInstrs = kRoundInstrs;
+        BatchSimulator sim(trace, bopts);
+        const std::vector<ScreenCut> cuts =
+            BatchSimulator::defaultCuts(kBatchWidth);
+        AnnealParams params;
+        params.iterations = kRoundIters;
+        Annealer annealer(
+            space,
+            [&](const CoreConfig &c) {
+                return sim.evaluate({c})[0].ipt();
+            },
+            params);
+        annealer.setFrontier(
+            [&](const std::vector<CoreConfig> &cands,
+                std::vector<double> &scores,
+                std::vector<uint8_t> &full) {
+                const ScreenOutcome o = sim.screen(cands, cuts);
+                full = o.full;
+                scores.assign(cands.size(), 0.0);
+                for (size_t i = 0; i < cands.size(); ++i)
+                    scores[i] = o.stats[i].ipt();
+            },
+            kBatchWidth);
+        volatile double s =
+            annealer.run(space.initialConfig()).bestScore;
+        (void)s;
+    };
+    const double roundBatchedMs = minOfN(5, roundBatched);
+    std::printf("annealer round batched (width %u): %.1f ms, "
+                "%.2fx over scalar traced round\n",
+                kBatchWidth, roundBatchedMs,
+                roundTracedMs / roundBatchedMs);
 
     // Worker-job latency: a small supervised batch after the timed
     // sections (fork noise must not disturb the min-of-N numbers).
@@ -204,9 +303,14 @@ main(int argc, char **argv)
     for (size_t i = 0; i < sims.size(); ++i) {
         std::fprintf(f,
                      "    \"%s\": {\"streaming_ms\": %.3f, "
-                     "\"traced_ms\": %.3f, \"speedup\": %.2f}%s\n",
+                     "\"traced_ms\": %.3f, \"speedup\": %.2f, "
+                     "\"frontier_scalar_ms_per_config\": %.3f, "
+                     "\"batched_ms_per_config\": %.3f, "
+                     "\"batched_speedup\": %.2f}%s\n",
                      sims[i].name.c_str(), sims[i].streamingMs,
                      sims[i].tracedMs, sims[i].speedup(),
+                     sims[i].frontierScalarMs, sims[i].batchedMs,
+                     sims[i].batchedSpeedup(),
                      i + 1 < sims.size() ? "," : "");
     }
     std::fprintf(f, "  },\n");
@@ -219,6 +323,15 @@ main(int argc, char **argv)
                  static_cast<unsigned long long>(kRoundInstrs),
                  roundStreamingMs, roundTracedMs,
                  roundStreamingMs / roundTracedMs);
+    std::fprintf(f,
+                 "  \"annealer_round_batched\": {\"batch_width\": %u, "
+                 "\"iters\": %llu, \"instrs_per_eval\": %llu, "
+                 "\"workload\": \"gcc\", \"traced_ms\": %.3f, "
+                 "\"speedup_vs_scalar_round\": %.2f},\n",
+                 kBatchWidth,
+                 static_cast<unsigned long long>(kRoundIters),
+                 static_cast<unsigned long long>(kRoundInstrs),
+                 roundBatchedMs, roundTracedMs / roundBatchedMs);
     // The streaming path above already contains this PR's scheduler
     // and core-loop optimizations, so "speedup" understates the full
     // before/after. These are the same measurements taken at the

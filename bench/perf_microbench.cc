@@ -9,9 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <bit>
+#include <vector>
+
 #include "explore/annealer.hh"
+#include "sim/batch.hh"
 #include "sim/cache.hh"
 #include "sim/simulator.hh"
+#include "util/rng.hh"
 #include "timing/unit_timing.hh"
 #include "workload/branch_predictor.hh"
 #include "workload/generator.hh"
@@ -209,6 +215,139 @@ BM_AnnealerAnalytic(benchmark::State &state)
         static_cast<int64_t>(state.iterations()) * 50);
 }
 BENCHMARK(BM_AnnealerAnalytic)->Unit(benchmark::kMillisecond);
+
+// --- wakeup–select microkernel: sorted ready list vs SoA bitmap ----
+//
+// The data-structure swap at the heart of the core's scheduler
+// (DESIGN.md §11), isolated: a 256-slot window sees bursts of wakeups
+// and oldest-first selections of up to `width` ops per cycle. The
+// scalar variant maintains the sorted ready vector the core used to
+// keep (append + sort + inplace_merge, erase from the front); the SoA
+// variant sets bits in a 4-word bitmap and selects with
+// count-trailing-zeros. Reported as ns per wakeup+select op.
+
+constexpr uint64_t kWsSlots = 256;
+constexpr uint64_t kWsWidth = 4;
+constexpr uint64_t kWsCycles = 4096;
+
+/** xorshift64*: deterministic wakeup pattern shared by both sides. */
+inline uint64_t
+wsNext(uint64_t &s)
+{
+    s ^= s >> 12;
+    s ^= s << 25;
+    s ^= s >> 27;
+    return s * 0x2545F4914F6CDD1DULL;
+}
+
+void
+BM_WakeupSelectScalar(benchmark::State &state)
+{
+    std::vector<uint64_t> ready;
+    std::vector<uint64_t> newly;
+    ready.reserve(kWsSlots);
+    newly.reserve(kWsWidth);
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        ready.clear();
+        uint64_t rng = 0x9E3779B97F4A7C15ULL;
+        uint64_t seq = 0;
+        for (uint64_t c = 0; c < kWsCycles; ++c) {
+            // Wake up to `width` slots (a producer's consumers).
+            newly.clear();
+            const uint64_t n = wsNext(rng) % (kWsWidth + 1);
+            for (uint64_t i = 0; i < n; ++i)
+                newly.push_back(seq++ - wsNext(rng) % kWsSlots);
+            std::sort(newly.begin(), newly.end());
+            const size_t mid = ready.size();
+            ready.insert(ready.end(), newly.begin(), newly.end());
+            std::inplace_merge(ready.begin(),
+                               ready.begin() +
+                                   static_cast<long>(mid),
+                               ready.end());
+            // Select the oldest `width` ready ops.
+            const size_t take =
+                std::min<size_t>(kWsWidth, ready.size());
+            for (size_t i = 0; i < take; ++i)
+                sink += ready[i];
+            ready.erase(ready.begin(),
+                        ready.begin() + static_cast<long>(take));
+        }
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(kWsCycles));
+}
+BENCHMARK(BM_WakeupSelectScalar);
+
+void
+BM_WakeupSelectSoA(benchmark::State &state)
+{
+    uint64_t bits[kWsSlots / 64];
+    uint64_t sink = 0;
+    for (auto _ : state) {
+        for (uint64_t &w : bits)
+            w = 0;
+        uint64_t rng = 0x9E3779B97F4A7C15ULL;
+        uint64_t seq = 0;
+        for (uint64_t c = 0; c < kWsCycles; ++c) {
+            const uint64_t n = wsNext(rng) % (kWsWidth + 1);
+            for (uint64_t i = 0; i < n; ++i) {
+                const uint64_t slot =
+                    (seq++ - wsNext(rng) % kWsSlots) %
+                    kWsSlots;
+                bits[slot >> 6] |= 1ULL << (slot & 63);
+            }
+            // Oldest-first select: ctz walk over the window words.
+            uint64_t taken = 0;
+            for (size_t w = 0;
+                 w < kWsSlots / 64 && taken < kWsWidth; ++w) {
+                uint64_t word = bits[w];
+                while (word != 0 && taken < kWsWidth) {
+                    const int b = std::countr_zero(word);
+                    word &= word - 1;
+                    bits[w] &= ~(1ULL << b);
+                    sink += (w << 6) | static_cast<unsigned>(b);
+                    ++taken;
+                }
+            }
+        }
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                            static_cast<int64_t>(kWsCycles));
+}
+BENCHMARK(BM_WakeupSelectSoA);
+
+void
+BM_BatchedEvaluate(benchmark::State &state)
+{
+    // Per-eval cost of a full-fidelity 8-wide batch (shared decode +
+    // shared warmup, no screening) vs the scalar traced path of
+    // BM_SimulateWorkloadTraced.
+    const WorkloadProfile &profile = profileByName("gcc");
+    constexpr uint64_t kInstrs = 20000;
+    const auto trace = sharedTrace(profile, 0, 2 * kInstrs);
+    UnitTiming timing;
+    SearchSpace space(timing);
+    std::vector<CoreConfig> configs{CoreConfig::initial()};
+    Rng rng(17);
+    while (configs.size() < 8) {
+        CoreConfig cand;
+        if (space.neighbor(configs.back(), rng, cand))
+            configs.push_back(cand);
+    }
+    for (auto _ : state) {
+        BatchOptions opts;
+        opts.measureInstrs = kInstrs;
+        BatchSimulator sim(trace, opts);
+        const std::vector<SimStats> stats = sim.evaluate(configs);
+        benchmark::DoNotOptimize(stats[0].cycles);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * 8);
+}
+BENCHMARK(BM_BatchedEvaluate)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

@@ -78,12 +78,43 @@ class Annealer
 {
   public:
     using Objective = std::function<double(const CoreConfig &)>;
+    /**
+     * Batched objective (DESIGN.md §11): scores a frontier of
+     * candidate configurations in one call. On return `scores` and
+     * `full` are parallel to the input; a candidate with full == 0
+     * was screened out at partial fidelity (its score is untrusted)
+     * and the walk auto-rejects it without consuming acceptance
+     * randomness. The Explorer plugs in BatchSimulator::screen here.
+     */
+    using FrontierObjective = std::function<void(
+        const std::vector<CoreConfig> &, std::vector<double> &,
+        std::vector<uint8_t> &)>;
     /** Invoked with a consistent snapshot every `checkpointEvery`
      *  iterations during resume(). */
     using CheckpointHook = std::function<void(const AnnealerState &)>;
 
     Annealer(const SearchSpace &space, Objective objective,
              AnnealParams params);
+
+    /**
+     * Switch resume() to frontier mode: each round draws up to
+     * `width` neighbours of the round-start current point, scores
+     * them in one FrontierObjective call, then applies the standard
+     * per-candidate Metropolis / improvement / rollback steps in draw
+     * order (a multiple-try flavour of the same walk). Screened-out
+     * candidates are auto-rejected proposals; they still consume
+     * iterations, so the schedule length is unchanged. At width 1
+     * with no screening the trajectory is bit-identical to the
+     * scalar walk — same RNG consumption order, same decisions.
+     * Checkpoints fire only at round boundaries, which keeps resumed
+     * runs on the original round grid.
+     */
+    void
+    setFrontier(FrontierObjective frontier, uint32_t width)
+    {
+        frontier_ = std::move(frontier);
+        frontierWidth_ = width < 1 ? 1 : width;
+    }
 
     /** Run from a starting configuration (begin + resume). */
     AnnealResult run(const CoreConfig &start) const;
@@ -111,6 +142,8 @@ class Annealer
   private:
     const SearchSpace &space_;
     Objective objective_;
+    FrontierObjective frontier_;
+    uint32_t frontierWidth_ = 1;
     AnnealParams params_;
 };
 

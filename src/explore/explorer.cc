@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "obs/tracer.hh"
+#include "sim/batch.hh"
 #include "util/atomic_file.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
@@ -82,6 +83,10 @@ Explorer::checkpointIdentity() const
     m.set("rounds", static_cast<uint64_t>(opts_.rounds));
     m.set("seed", opts_.seed);
     m.set("final_eval_instrs", opts_.finalEvalInstrs);
+    // The frontier width changes the walk's trajectory (multiple-try
+    // proposals), so scalar and batched runs must not resume each
+    // other's checkpoints.
+    m.set("xps_batch", envUInt("XPS_BATCH", 1));
     m.set("adoption_margin", formatHexDouble(opts_.adoptionMargin));
     m.set("gross_adoption_margin",
           formatHexDouble(opts_.grossAdoptionMargin));
@@ -159,6 +164,58 @@ Explorer::annealWorkloadRound(
                   w * 1315423911ULL + static_cast<uint64_t>(round);
     params.traceLabel = suite_[w].name;
     Annealer annealer(space_, objective, params);
+
+    // XPS_BATCH > 1: score each round's proposals as a frontier
+    // through the batched simulator (shared decode + warmup,
+    // successive-halving screen — DESIGN.md §11). The walk this
+    // produces is a multiple-try variant of the scalar one, which is
+    // why the width is part of the checkpoint identity.
+    const uint64_t batch_width = envUInt("XPS_BATCH", 1);
+    std::unique_ptr<BatchSimulator> batch;
+    if (batch_width > 1 && trace) {
+        BatchOptions bopts;
+        bopts.measureInstrs = opts_.evalInstrs;
+        batch = std::make_unique<BatchSimulator>(trace, bopts);
+        const std::vector<ScreenCut> cuts = BatchSimulator::defaultCuts(
+            static_cast<uint32_t>(batch_width));
+        annealer.setFrontier(
+            [&, cuts](const std::vector<CoreConfig> &cands,
+                      std::vector<double> &scores,
+                      std::vector<uint8_t> &full) {
+                ProcPool::beat();
+                scores.assign(cands.size(), 0.0);
+                full.assign(cands.size(), 0);
+                // Explorer-level memo first (it persists across
+                // rounds and checkpoints); misses go through the
+                // screened batch.
+                std::vector<size_t> pos;
+                std::vector<CoreConfig> to_sim;
+                for (size_t i = 0; i < cands.size(); ++i) {
+                    const auto it = memo.find(archKey(cands[i]));
+                    if (it != memo.end()) {
+                        scores[i] = it->second;
+                        full[i] = 1;
+                    } else {
+                        pos.push_back(i);
+                        to_sim.push_back(cands[i]);
+                    }
+                }
+                if (to_sim.empty())
+                    return;
+                const ScreenOutcome outcome = batch->screen(to_sim,
+                                                            cuts);
+                for (size_t j = 0; j < pos.size(); ++j) {
+                    if (!outcome.full[j])
+                        continue;
+                    const double ipt = outcome.stats[j].ipt();
+                    scores[pos[j]] = ipt;
+                    full[pos[j]] = 1;
+                    ++evals;
+                    memo.emplace(archKey(cands[pos[j]]), ipt);
+                }
+            },
+            static_cast<uint32_t>(batch_width));
+    }
 
     AnnealerState st;
     bool resumed = false;

@@ -16,6 +16,21 @@ namespace testhooks
 bool injectWakeupBug = false;
 }
 
+namespace
+{
+
+/** Issue lane per OpClass: 0 = ALU, 1 = multiplier, 2 = cache port.
+ *  Indexed by the meta byte's class bits. */
+constexpr uint8_t kLaneByCls[kNumOpClasses] = {0, 1, 2, 2, 0, 0};
+
+/** Execution latency per OpClass for everything but loads (loads
+ *  probe the hierarchy). Indexed by the meta byte's class bits. */
+constexpr int kLatByCls[kNumOpClasses] = {1, 4, 0, 1, 1, 1};
+
+static_assert(kLatByCls[static_cast<int>(OpClass::IntAlu)] == 1);
+
+} // namespace
+
 OooCore::OooCore(const CoreConfig &cfg, const Technology &tech)
     : cfg_(cfg), tech_(tech),
       feStages_(cfg.frontEndStages(tech)),
@@ -24,19 +39,41 @@ OooCore::OooCore(const CoreConfig &cfg, const Technology &tech)
       hierarchy_(cfg.l1Sets, cfg.l1Assoc, cfg.l1LineBytes, cfg.l1Cycles,
                  cfg.l2Sets, cfg.l2Assoc, cfg.l2LineBytes, cfg.l2Cycles,
                  cfg.memCycles(tech)),
-      predictor_(),
-      rob_(std::bit_ceil(static_cast<uint64_t>(cfg.robSize)))
+      predictor_()
 {
-    robMask_ = rob_.size() - 1;
+    static_assert(kLatByCls[static_cast<int>(OpClass::IntMul)] ==
+                  kMulLatency);
+    static_assert(kLatByCls[static_cast<int>(OpClass::Store)] ==
+                  kAgenCycles);
+
+    const size_t rob_cap =
+        std::bit_ceil(static_cast<uint64_t>(cfg.robSize));
+    robMask_ = rob_cap - 1;
+    sOp_.resize(rob_cap);
+    slotOps_.resize(rob_cap);
+    sMeta_.resize(rob_cap);
+    sIssued_.resize(rob_cap);
+    sWoke_.resize(rob_cap);
+    sWaitCount_.resize(rob_cap);
+    sFetchCycle_.resize(rob_cap);
+    sCompleteCycle_.resize(rob_cap);
+    sAddr_.resize(rob_cap);
+    consHead_.resize(rob_cap, kNilEdge);
+    consNext0_.resize(rob_cap, kNilEdge);
+    consNext1_.resize(rob_cap, kNilEdge);
+    memWaiters_.resize(rob_cap);
+    readyBits_.resize(rob_cap / 64 ? rob_cap / 64 : 1, 0);
+
     storeBySeq_.init(cfg_.lsqSize);
     UnitTiming timing(tech);
     cfg_.validate(timing);
     // Enough fetch-buffer slots to keep the front-end pipe full.
     fetchBufCap_ = static_cast<size_t>(feStages_ + 2) * cfg_.width;
-    fetchBuf_.resize(std::bit_ceil(fetchBufCap_));
-    fetchOps_.resize(fetchBuf_.size());
-    slotOps_.resize(rob_.size());
-    fbMask_ = fetchBuf_.size() - 1;
+    fOp_.resize(std::bit_ceil(fetchBufCap_));
+    fetchOps_.resize(fOp_.size());
+    fCycle_.resize(fOp_.size());
+    fMeta_.resize(fOp_.size());
+    fbMask_ = fOp_.size() - 1;
     // Event horizon: no wakeup is ever scheduled further ahead than
     // the worst-case load latency or the awaken latency.
     const uint64_t horizon = 2 + std::max<uint64_t>(
@@ -47,20 +84,31 @@ OooCore::OooCore(const CoreConfig &cfg, const Technology &tech)
          static_cast<uint64_t>(kForwardLatency)});
     wheel_.resize(std::bit_ceil(horizon));
     wheelMask_ = wheel_.size() - 1;
+    wheelBits_.assign((wheel_.size() + 63) / 64, 0);
+    // Pre-reserve event/waiter storage from the config's structural
+    // limits so the steady-state cycle loop never allocates (the
+    // counting-allocator test in tests/alloc_test.cc enforces this):
+    // at most `width` wakeups are scheduled per cycle, and at most
+    // lsqSize loads can be memory-blocked at once.
+    for (auto &bucket : wheel_)
+        bucket.reserve(static_cast<size_t>(cfg_.width) * 2);
+    memBlocked_.reserve(cfg_.lsqSize);
+    for (auto &waiters : memWaiters_)
+        waiters.reserve(4);
 }
 
 int
-OooCore::loadLatencyFor(uint64_t seq, const Slot &s,
+OooCore::loadLatencyFor(uint64_t seq, uint64_t addr,
                         uint64_t *blocking_store)
 {
     // Store-to-load forwarding: the youngest older in-flight store to
     // the same 8-byte word supplies the data.
-    const size_t idx = storeBySeq_.find(s.op->addr >> 3);
+    const size_t idx = storeBySeq_.find(addr >> 3);
     if (idx != StoreMap::npos) {
         const uint64_t store_seq = storeBySeq_.value(idx);
         if (store_seq < seq && store_seq >= robHead_) {
-            const Slot &st = rob_[store_seq & robMask_];
-            if (!st.issued || st.completeCycle > cycle_) {
+            const uint64_t sidx = slotIdx(store_seq);
+            if (!sIssued_[sidx] || sCompleteCycle_[sidx] > cycle_) {
                 if (blocking_store)
                     *blocking_store = store_seq;
                 return -1; // memory dependence: stall in the IQ
@@ -69,8 +117,7 @@ OooCore::loadLatencyFor(uint64_t seq, const Slot &s,
         }
     }
     MemoryHierarchy::Level level;
-    const int lat =
-        kAgenCycles + hierarchy_.loadLatency(s.op->addr, &level);
+    const int lat = kAgenCycles + hierarchy_.loadLatency(addr, &level);
     switch (level) {
       case MemoryHierarchy::Level::L1:
         ++statL1Hits_;
@@ -88,71 +135,46 @@ OooCore::loadLatencyFor(uint64_t seq, const Slot &s,
 }
 
 void
-OooCore::pushReady(uint64_t seq)
+OooCore::releaseConsumers(uint64_t idx)
 {
-    Slot &s = slot(seq);
-    if (s.issued || s.inReady)
+    if (sWoke_[idx])
         return;
-    s.inReady = true;
-    newlyReady_.push_back(seq);
-}
-
-void
-OooCore::mergeReady()
-{
-    if (newlyReady_.empty())
-        return;
-    std::sort(newlyReady_.begin(), newlyReady_.end());
-    const size_t mid = readyList_.size();
-    readyList_.insert(readyList_.end(), newlyReady_.begin(),
-                      newlyReady_.end());
-    std::inplace_merge(readyList_.begin(),
-                       readyList_.begin() + static_cast<long>(mid),
-                       readyList_.end());
-    newlyReady_.clear();
-}
-
-void
-OooCore::wakeEdge(uint64_t consumer_seq)
-{
-    Slot &c = slot(consumer_seq);
-    if (c.waitCount > 0 && --c.waitCount == 0)
-        pushReady(consumer_seq);
-}
-
-void
-OooCore::releaseConsumers(Slot &s)
-{
-    if (s.wokeConsumers)
-        return;
-    s.wokeConsumers = true;
-    for (uint64_t consumer : s.consumers)
-        wakeEdge(consumer);
-    s.consumers.clear();
+    sWoke_[idx] = 1;
+    uint32_t link = consHead_[idx];
+    consHead_[idx] = kNilEdge;
+    while (link != kNilEdge) {
+        const uint32_t cidx = link >> 1;
+        const uint32_t next = (link & 1) ? consNext1_[cidx]
+                                         : consNext0_[cidx];
+        if (sWaitCount_[cidx] > 0 && --sWaitCount_[cidx] == 0)
+            pushReadyIdx(cidx);
+        link = next;
+    }
 }
 
 void
 OooCore::pushEvent(uint64_t cycle, uint64_t seq, Event::Kind kind)
 {
-    wheel_[cycle & wheelMask_].push_back(Event{seq, kind});
+    const uint64_t b = cycle & wheelMask_;
+    wheel_[b].push_back(Event{seq, kind});
+    wheelBits_[b >> 6] |= 1ULL << (b & 63);
     ++eventCount_;
     if (cycle < nextEventCycle_)
         nextEventCycle_ = cycle;
 }
 
 void
-OooCore::blockLoad(uint64_t seq, const Slot &s,
+OooCore::blockLoad(uint64_t seq, uint64_t idx,
                    uint64_t blocking_store)
 {
-    Slot &ld = slot(seq);
-    ld.inReady = false;
-    memBlocked_[s.op->addr >> 3].push_back(seq);
-    Slot &st = slot(blocking_store);
-    if (st.issued) {
+    clearReadyIdx(idx);
+    memBlocked_.push_back(BlockedLoad{sAddr_[idx] >> 3, seq});
+    const uint64_t sidx = slotIdx(blocking_store);
+    if (sIssued_[sidx]) {
         // Forwarding becomes legal once the store has executed.
-        pushEvent(st.completeCycle, seq, Event::Kind::LoadRetry);
+        pushEvent(sCompleteCycle_[sidx], seq, Event::Kind::LoadRetry);
     } else {
-        st.memWaiters.push_back(seq);
+        memWaiters_[sidx].push_back(static_cast<uint32_t>(idx));
     }
 }
 
@@ -161,17 +183,20 @@ OooCore::wakeMemBlocked(uint64_t addr_word)
 {
     if (memBlocked_.empty())
         return; // common case: no loads are memory-blocked
-    const auto it = memBlocked_.find(addr_word);
-    if (it == memBlocked_.end())
-        return;
-    for (uint64_t seq : it->second) {
-        if (seq < robHead_)
-            continue; // already issued and retired
-        Slot &ld = slot(seq);
-        if (!ld.issued && ld.waitCount == 0)
-            pushReady(seq);
+    size_t keep = 0;
+    for (size_t i = 0; i < memBlocked_.size(); ++i) {
+        const BlockedLoad b = memBlocked_[i];
+        if (b.seq < robHead_)
+            continue; // already issued and retired: prune
+        if (b.word != addr_word) {
+            memBlocked_[keep++] = b;
+            continue;
+        }
+        const uint64_t idx = slotIdx(b.seq);
+        if (!sIssued_[idx] && sWaitCount_[idx] == 0)
+            pushReadyIdx(idx);
     }
-    memBlocked_.erase(it);
+    memBlocked_.resize(keep);
 }
 
 void
@@ -187,24 +212,43 @@ OooCore::processWakeups()
     for (const Event &e : bucket) {
         if (e.seq < robHead_)
             continue; // retired: consumers were woken at commit
-        Slot &s = slot(e.seq);
+        const uint64_t idx = slotIdx(e.seq);
         if (e.kind == Event::Kind::ProducerWake) {
-            releaseConsumers(s);
+            releaseConsumers(idx);
         } else {
-            if (!s.issued && s.waitCount == 0)
-                pushReady(e.seq);
+            if (!sIssued_[idx] && sWaitCount_[idx] == 0)
+                pushReadyIdx(idx);
         }
     }
     eventCount_ -= bucket.size();
     bucket.clear();
+    {
+        const uint64_t b = cycle_ & wheelMask_;
+        wheelBits_[b >> 6] &= ~(1ULL << (b & 63));
+    }
     if (eventCount_ == 0) {
         nextEventCycle_ = UINT64_MAX;
         return;
     }
-    uint64_t c = cycle_ + 1;
-    while (wheel_[c & wheelMask_].empty())
-        ++c;
-    nextEventCycle_ = c;
+    // Every pending event lies in (cycle_, cycle_ + wheel size], so a
+    // circular count-trailing-zeros scan over the occupancy words finds
+    // the next due cycle without touching empty buckets.
+    const uint64_t c = cycle_ + 1;
+    const uint64_t start = c & wheelMask_;
+    const size_t words = wheelBits_.size();
+    size_t w = start >> 6;
+    uint64_t bits = wheelBits_[w] & (~0ULL << (start & 63));
+    for (;;) {
+        if (bits) {
+            const uint64_t found =
+                (static_cast<uint64_t>(w) << 6) +
+                static_cast<uint64_t>(std::countr_zero(bits));
+            nextEventCycle_ = c + ((found - start) & wheelMask_);
+            return;
+        }
+        w = (w + 1 == words) ? 0 : w + 1;
+        bits = wheelBits_[w];
+    }
 }
 
 uint32_t
@@ -213,37 +257,31 @@ OooCore::doCommit()
     uint32_t commits = 0;
     while (commits < cfg_.width && robHead_ < robTail_ &&
            committed_ < commitTarget_) {
-        Slot &s = rob_[robHead_ & robMask_];
-        if (!s.issued || s.completeCycle > cycle_)
+        const uint64_t idx = slotIdx(robHead_);
+        if (!sIssued_[idx] || sCompleteCycle_[idx] > cycle_)
             break;
         if (checker_) [[unlikely]]
             checker_->onCommit(robHead_, cycle_);
         // Retirement can beat the scheduled wake when the awaken
         // latency exceeds the execution latency: a retired producer's
         // operands are available immediately.
-        releaseConsumers(s);
-        switch (s.op->cls) {
-          case OpClass::Load:
-            ++statLoads_;
+        releaseConsumers(idx);
+        const uint8_t meta = sMeta_[idx];
+        if (meta & kMetaIsMem) {
+            if (meta & kMetaIsStore) {
+                hierarchy_.storeTouch(sAddr_[idx]);
+                const size_t si = storeBySeq_.find(sAddr_[idx] >> 3);
+                if (si != StoreMap::npos &&
+                    storeBySeq_.value(si) == robHead_)
+                    storeBySeq_.eraseAt(si);
+                ++statStores_;
+            } else {
+                ++statLoads_;
+            }
             --lsqCount_;
-            break;
-          case OpClass::Store: {
-            hierarchy_.storeTouch(s.op->addr);
-            const size_t idx = storeBySeq_.find(s.op->addr >> 3);
-            if (idx != StoreMap::npos &&
-                storeBySeq_.value(idx) == robHead_)
-                storeBySeq_.eraseAt(idx);
-            ++statStores_;
-            --lsqCount_;
-            break;
-          }
-          case OpClass::CondBranch:
+        } else if (meta & kMetaCondBranch) {
             ++statBranches_;
-            if (s.mispredict)
-                ++statMispredicts_;
-            break;
-          default:
-            break;
+            statMispredicts_ += meta >> 7; // kMetaMispredict
         }
         ++robHead_;
         ++committed_;
@@ -256,95 +294,112 @@ uint32_t
 OooCore::doIssue()
 {
     processWakeups();
-    mergeReady();
+    if (readyCount_ == 0)
+        return 0;
 
     uint32_t issued = 0;
-    uint32_t alu_used = 0, mul_used = 0, mem_used = 0;
-    size_t keep = 0;
-    for (size_t i = 0; i < readyList_.size(); ++i) {
-        const uint64_t seq = readyList_[i];
-        Slot &s = rob_[seq & robMask_];
-        if (issued >= cfg_.width) {
-            readyList_[keep++] = seq;
-            continue;
-        }
+    uint32_t used[3] = {0, 0, 0}; // ALU, multiplier, cache ports
+    const uint32_t cap[3] = {cfg_.width, mulUnits_, kMemPorts};
+    // All set bits are visited at most once; stop as soon as every
+    // bit that was set at scan start has been seen.
+    uint32_t visited = 0;
+    const uint32_t target = readyCount_;
 
-        // Functional-unit availability, then execution latency.
-        int lat = 1;
-        switch (s.op->cls) {
-          case OpClass::IntAlu:
-          case OpClass::CondBranch:
-          case OpClass::Jump:
-            if (alu_used >= cfg_.width) {
-                readyList_[keep++] = seq;
-                continue;
-            }
-            lat = 1;
-            ++alu_used;
-            break;
-          case OpClass::IntMul:
-            if (mul_used >= mulUnits_) {
-                readyList_[keep++] = seq;
-                continue;
-            }
-            lat = kMulLatency;
-            ++mul_used;
-            break;
-          case OpClass::Store:
-            if (mem_used >= kMemPorts) {
-                readyList_[keep++] = seq;
-                continue;
-            }
-            lat = kAgenCycles;
-            ++mem_used;
-            break;
-          case OpClass::Load: {
-            if (mem_used >= kMemPorts) {
-                readyList_[keep++] = seq;
-                continue;
-            }
-            uint64_t blocking_store = 0;
-            const int load_lat =
-                loadLatencyFor(seq, s, &blocking_store);
-            if (load_lat < 0) {
-                // Blocked on an unexecuted older store: leave the
-                // ready list until a retry trigger fires.
-                blockLoad(seq, s, blocking_store);
-                continue;
-            }
-            lat = load_lat;
-            ++mem_used;
-            break;
-          }
-        }
+    // Walk the in-flight slot window oldest-first: [head, head+n) in
+    // the ring, split at the wrap. Ready bits only exist inside it.
+    const uint64_t head = robHead_ & robMask_;
+    const uint64_t inflight = robTail_ - robHead_;
+    const uint64_t ring = robMask_ + 1;
+    uint64_t spans[2][2];
+    int nspans = 1;
+    spans[0][0] = head;
+    if (head + inflight <= ring) {
+        spans[0][1] = head + inflight;
+    } else {
+        spans[0][1] = ring;
+        spans[1][0] = 0;
+        spans[1][1] = head + inflight - ring;
+        nspans = 2;
+    }
 
-        s.issued = true;
-        s.inReady = false;
-        --iqCount_;
-        s.completeCycle = cycle_ + static_cast<uint64_t>(lat);
-        s.wakeCycle = cycle_ + std::max<uint64_t>(
-            static_cast<uint64_t>(lat),
-            1ULL + static_cast<uint64_t>(awaken_));
-        if (checker_) [[unlikely]]
-            checker_->onIssue(seq, *s.op, cycle_, s.completeCycle);
-        pushEvent(s.wakeCycle, seq, Event::Kind::ProducerWake);
-        if (s.op->isStore() && !s.memWaiters.empty()) {
-            for (uint64_t waiter : s.memWaiters) {
-                pushEvent(s.completeCycle, waiter,
-                          Event::Kind::LoadRetry);
-            }
-            s.memWaiters.clear();
-        }
-        ++issued;
+    for (int sp = 0;
+         sp < nspans && issued < cfg_.width && visited < target;
+         ++sp) {
+        const uint64_t lo = spans[sp][0], hi = spans[sp][1];
+        for (uint64_t w = lo >> 6; w < ((hi + 63) >> 6); ++w) {
+            uint64_t bits = readyBits_[w];
+            if (w == lo >> 6)
+                bits &= ~0ULL << (lo & 63);
+            if (((w + 1) << 6) > hi && (hi & 63))
+                bits &= ~0ULL >> (64 - (hi & 63));
+            while (bits) {
+                const uint64_t idx =
+                    (w << 6) +
+                    static_cast<uint64_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                ++visited;
 
-        if (s.op->cls == OpClass::CondBranch && s.mispredict) {
-            // Resolution redirects the front end; the refill cost is
-            // the per-instruction front-end delay at dispatch.
-            nextFetchCycle_ = s.completeCycle;
-            fetchBlocked_ = false;
+                // Functional-unit availability, then latency.
+                const uint8_t meta = sMeta_[idx];
+                const uint8_t lane = kLaneByCls[meta & kMetaClsMask];
+                if (used[lane] >= cap[lane])
+                    continue; // stays in the ready set
+                const uint64_t seq = seqOfIdx(idx);
+                int lat;
+                if (metaIsLoad(meta)) {
+                    uint64_t blocking_store = 0;
+                    lat = loadLatencyFor(seq, sAddr_[idx],
+                                         &blocking_store);
+                    if (lat < 0) {
+                        // Blocked on an unexecuted older store:
+                        // leaves the ready set until a retry
+                        // trigger fires.
+                        blockLoad(seq, idx, blocking_store);
+                        continue;
+                    }
+                } else {
+                    lat = kLatByCls[meta & kMetaClsMask];
+                }
+                ++used[lane];
+
+                clearReadyIdx(idx);
+                sIssued_[idx] = 1;
+                --iqCount_;
+                const uint64_t complete =
+                    cycle_ + static_cast<uint64_t>(lat);
+                sCompleteCycle_[idx] = complete;
+                const uint64_t wake = cycle_ + std::max<uint64_t>(
+                    static_cast<uint64_t>(lat),
+                    1ULL + static_cast<uint64_t>(awaken_));
+                if (checker_) [[unlikely]]
+                    checker_->onIssue(seq, *sOp_[idx], cycle_,
+                                      complete);
+                pushEvent(wake, seq, Event::Kind::ProducerWake);
+                if ((meta & kMetaIsStore) &&
+                    !memWaiters_[idx].empty()) {
+                    for (uint32_t widx : memWaiters_[idx]) {
+                        pushEvent(complete, seqOfIdx(widx),
+                                  Event::Kind::LoadRetry);
+                    }
+                    memWaiters_[idx].clear();
+                }
+                ++issued;
+
+                if ((meta & (kMetaCondBranch | kMetaMispredict)) ==
+                    (kMetaCondBranch | kMetaMispredict)) {
+                    // Resolution redirects the front end; the refill
+                    // cost is the per-instruction front-end delay at
+                    // dispatch.
+                    nextFetchCycle_ = complete;
+                    fetchBlocked_ = false;
+                }
+                if (issued >= cfg_.width)
+                    return issued;
+            }
+            if (visited >= target)
+                break;
         }
     }
-    readyList_.resize(keep);
     return issued;
 }
 
@@ -354,67 +409,74 @@ OooCore::doDispatch()
 {
     uint32_t dispatched = 0;
     while (dispatched < cfg_.width && fbHead_ != fbTail_) {
-        const Fetched &f = fetchBuf_[fbHead_ & fbMask_];
-        if (f.fetchCycle + static_cast<uint64_t>(feStages_) > cycle_)
+        const uint64_t fidx = fbHead_ & fbMask_;
+        if (fCycle_[fidx] + static_cast<uint64_t>(feStages_) > cycle_)
             break; // still in the front-end pipe
         if (robTail_ - robHead_ >= cfg_.robSize)
             break; // ROB full
         if (iqCount_ >= cfg_.iqSize)
             break; // IQ full
-        if (f.op->isMem() && lsqCount_ >= cfg_.lsqSize)
+        const uint8_t meta = fMeta_[fidx];
+        if ((meta & kMetaIsMem) && lsqCount_ >= cfg_.lsqSize)
             break; // LSQ full
 
         const uint64_t seq = robTail_;
-        Slot &s = rob_[seq & robMask_];
+        const uint64_t idx = slotIdx(seq);
+        const MicroOp *op;
         if constexpr (kCopyOps) {
-            // Streaming: f.op points into the fetch ring, whose
-            // entry is recycled before this slot retires.
-            slotOps_[seq & robMask_] = *f.op;
-            s.op = &slotOps_[seq & robMask_];
+            // Streaming: the fetched op lives in the fetch ring,
+            // whose entry is recycled before this slot retires.
+            slotOps_[idx] = *fOp_[fidx];
+            op = &slotOps_[idx];
         } else {
-            // Replay: f.op points into the immutable trace buffer,
+            // Replay: the op lives in the immutable trace buffer,
             // which outlives the run.
-            s.op = f.op;
+            op = fOp_[fidx];
         }
-        s.fetchCycle = f.fetchCycle;
-        s.completeCycle = 0;
-        s.wakeCycle = 0;
-        s.issued = false;
-        s.mispredict = f.mispredict;
-        s.waitCount = 0;
-        s.inReady = false;
-        s.wokeConsumers = false;
-        s.consumers.clear();
-        s.memWaiters.clear();
+        sOp_[idx] = op;
+        sMeta_[idx] = meta;
+        sFetchCycle_[idx] = fCycle_[fidx];
+        sCompleteCycle_[idx] = 0;
+        sIssued_[idx] = 0;
+        sWoke_[idx] = 0;
+        sWaitCount_[idx] = 0;
+        sAddr_[idx] = op->addr;
+        consHead_[idx] = kNilEdge;
+        memWaiters_[idx].clear();
         if (checker_) [[unlikely]]
-            checker_->onDispatch(seq, *s.op, cycle_, s.fetchCycle);
+            checker_->onDispatch(seq, *op, cycle_,
+                                 sFetchCycle_[idx]);
 
         // Resolve register sources once: count the pending producers
-        // and register on their consumer lists.
-        for (int i = 0; i < s.op->numSrcs; ++i) {
-            const uint32_t dist = s.op->srcDist[i];
+        // and link onto their consumer chains.
+        for (int i = 0; i < op->numSrcs; ++i) {
+            const uint32_t dist = op->srcDist[i];
             if (dist == 0 || dist > seq)
                 continue;
             const uint64_t prod_seq = seq - dist;
             if (prod_seq < robHead_)
                 continue; // producer already retired
-            Slot &prod = rob_[prod_seq & robMask_];
-            if (prod.wokeConsumers)
+            const uint64_t pidx = slotIdx(prod_seq);
+            if (sWoke_[pidx])
                 continue; // result already available
-            prod.consumers.push_back(seq);
-            ++s.waitCount;
+            (i == 0 ? consNext0_ : consNext1_)[idx] =
+                consHead_[pidx];
+            consHead_[pidx] =
+                (static_cast<uint32_t>(idx) << 1) |
+                static_cast<uint32_t>(i);
+            ++sWaitCount_[idx];
         }
-        if (s.waitCount == 0)
-            pushReady(seq);
+        if (sWaitCount_[idx] == 0)
+            pushReadyIdx(idx);
 
         ++iqCount_;
-        if (f.op->isMem())
+        if (meta & kMetaIsMem)
             ++lsqCount_;
-        if (f.op->isStore()) {
-            storeBySeq_.insertOrAssign(f.op->addr >> 3, seq);
+        if (meta & kMetaIsStore) {
+            storeBySeq_.insertOrAssign(op->addr >> 3, seq);
             // A younger same-word store changes the forwarding
             // outcome of any blocked load: make them re-check.
-            wakeMemBlocked(f.op->addr >> 3);
+            wakeMemBlocked(op->addr >> 3);
         }
         ++robTail_;
         ++dispatched;
@@ -431,31 +493,46 @@ OooCore::doFetch(Source &source)
         return 0;
     uint32_t fetched = 0;
     while (fetched < cfg_.width && fbTail_ - fbHead_ < fetchBufCap_) {
-        const uint64_t idx = fbTail_++ & fbMask_;
-        Fetched &f = fetchBuf_[idx];
-        if constexpr (std::is_same_v<Source, TraceCursor>) {
-            // Replay: stage a pointer into the immutable buffer.
-            f.op = &source.next();
+        const uint64_t idx = fbTail_ & fbMask_;
+        uint8_t meta;
+        if constexpr (std::is_same_v<Source, DecodedSource>) {
+            // Replay: pointer into the immutable buffer; the meta —
+            // including the prediction outcome — was decoded once
+            // per trace.
+            if (source.pos >= source.size) [[unlikely]] {
+                panic("OooCore: trace exhausted after %llu ops; size "
+                      "the buffer with kTraceSlackOps (use "
+                      "sharedTrace())",
+                      static_cast<unsigned long long>(source.size));
+            }
+            fOp_[idx] = &source.ops[source.pos];
+            meta = source.meta[source.pos];
+            ++source.pos;
         } else {
             // Streaming: the generator recycles its op storage, so
-            // park a copy in the ring until dispatch.
+            // park a copy in the ring until dispatch, and consult
+            // the live predictor.
             fetchOps_[idx] = source.next();
-            f.op = &fetchOps_[idx];
+            const MicroOp &op = fetchOps_[idx];
+            fOp_[idx] = &op;
+            meta = decodeMicroOp(op);
+            if ((meta & kMetaCondBranch) &&
+                !predictor_.predict(op.pc, op.taken))
+                meta |= kMetaMispredict;
         }
-        const MicroOp &op = *f.op;
-        f.fetchCycle = cycle_;
-        f.mispredict = op.cls == OpClass::CondBranch &&
-                       !predictor_.predict(op.pc, op.taken);
+        fMeta_[idx] = meta;
+        fCycle_[idx] = cycle_;
+        ++fbTail_;
         ++fetched;
         if (checker_) [[unlikely]]
             checker_->onFetch(cycle_);
-        if (f.mispredict) {
+        if (meta & kMetaMispredict) {
             // Fetch stops until the branch resolves (trace-driven
             // misprediction model; no wrong path is simulated).
             fetchBlocked_ = true;
             break;
         }
-        if (op.isControl() && op.taken)
+        if (meta & kMetaEndsGroup)
             break; // a taken control op ends the fetch group
     }
     return fetched;
@@ -465,9 +542,9 @@ void
 OooCore::skipIdle()
 {
     // The cycle just simulated moved nothing: no commit, no issue
-    // (which also means the ready list is empty — the age-ordered
+    // (which also means the ready set is empty — the age-ordered
     // walk issues its first entry unless every entry is a load that
-    // memory-blocked, and blocked loads leave the list), no dispatch
+    // memory-blocked, and blocked loads leave the set), no dispatch
     // and no fetch. Machine state is therefore frozen until one of
     // the pending triggers fires:
     //   - the earliest scheduled wakeup / load-retry event,
@@ -481,12 +558,12 @@ OooCore::skipIdle()
     // occupancy is constant while the machine is frozen.
     uint64_t next = nextEventCycle_;
     if (robHead_ < robTail_) {
-        const Slot &head = rob_[robHead_ & robMask_];
-        if (head.issued)
-            next = std::min(next, head.completeCycle);
+        const uint64_t idx = slotIdx(robHead_);
+        if (sIssued_[idx])
+            next = std::min(next, sCompleteCycle_[idx]);
     }
     if (fbHead_ != fbTail_) {
-        next = std::min(next, fetchBuf_[fbHead_ & fbMask_].fetchCycle +
+        next = std::min(next, fCycle_[fbHead_ & fbMask_] +
                                   static_cast<uint64_t>(feStages_));
     }
     if (!fetchBlocked_ && fbTail_ - fbHead_ < fetchBufCap_)
@@ -501,19 +578,19 @@ OooCore::skipIdle()
     cycle_ = next - 1;
 }
 
-template <typename Source>
-SimStats
-OooCore::runImpl(Source &source, uint64_t measure, uint64_t warmup)
+void
+OooCore::resetMachine(uint64_t measure, bool reset_predictor)
 {
-    // Reset all machine state.
     hierarchy_.reset();
-    predictor_.reset();
+    if (reset_predictor)
+        predictor_.reset();
     fbHead_ = fbTail_ = 0;
     storeBySeq_.clear();
-    readyList_.clear();
-    newlyReady_.clear();
+    std::fill(readyBits_.begin(), readyBits_.end(), 0);
+    readyCount_ = 0;
     for (auto &bucket : wheel_)
         bucket.clear();
+    std::fill(wheelBits_.begin(), wheelBits_.end(), 0);
     eventCount_ = 0;
     nextEventCycle_ = UINT64_MAX;
     memBlocked_.clear();
@@ -524,6 +601,8 @@ OooCore::runImpl(Source &source, uint64_t measure, uint64_t warmup)
     fetchBlocked_ = false;
     nextFetchCycle_ = 0;
     committed_ = 0;
+    commitTarget_ = measure;
+    cycleGuard_ = 2000 * measure + 10000000ULL;
     statLoads_ = statStores_ = 0;
     statL1Hits_ = statL1Misses_ = 0;
     statL2Hits_ = statL2Misses_ = 0;
@@ -531,35 +610,16 @@ OooCore::runImpl(Source &source, uint64_t measure, uint64_t warmup)
     statRobOccSum_ = 0;
     if (checker_) [[unlikely]]
         checker_->onRunStart();
+}
 
-    // Functional warmup: stream addresses through the hierarchy and
-    // outcomes through the predictor with no timing, so that large
-    // caches are warm even in short timed windows (a timed warmup of
-    // the same length would leave multi-megabyte L2s cold and bias
-    // the exploration against capacity).
-    for (uint64_t i = 0; i < warmup; ++i) {
-        const MicroOp &op = source.next();
-        switch (op.cls) {
-          case OpClass::Load:
-            hierarchy_.loadLatency(op.addr);
-            break;
-          case OpClass::Store:
-            hierarchy_.storeTouch(op.addr);
-            break;
-          case OpClass::CondBranch:
-            predictor_.predict(op.pc, op.taken);
-            break;
-          default:
-            break;
-        }
-    }
-
-    commitTarget_ = measure;
-    const uint64_t cycle_guard = 2000 * measure + 10000000ULL;
-    while (committed_ < measure) {
+template <typename Source>
+void
+OooCore::advanceLoop(Source &source, uint64_t stop_at)
+{
+    while (committed_ < stop_at) {
         uint32_t moved = doCommit();
         moved += doIssue();
-        moved += doDispatch<!std::is_same_v<Source, TraceCursor>>();
+        moved += doDispatch<!std::is_same_v<Source, DecodedSource>>();
         moved += doFetch(source);
         if (moved == 0)
             skipIdle(); // jump a stall to its next trigger cycle
@@ -568,13 +628,17 @@ OooCore::runImpl(Source &source, uint64_t measure, uint64_t warmup)
             checker_->onCycleEnd(cycle_, robTail_ - robHead_,
                                  iqCount_, lsqCount_);
         ++cycle_;
-        if (cycle_ > cycle_guard)
+        if (cycle_ > cycleGuard_)
             panic("OooCore: no forward progress after %llu cycles "
                   "(config %s)",
                   static_cast<unsigned long long>(cycle_),
                   cfg_.name.c_str());
     }
+}
 
+SimStats
+OooCore::collectStats() const
+{
     SimStats out;
     out.clockNs = cfg_.clockNs;
     out.instructions = committed_;
@@ -595,13 +659,103 @@ SimStats
 OooCore::run(SyntheticWorkload &workload, uint64_t measure,
              uint64_t warmup)
 {
-    return runImpl(workload, measure, warmup);
+    resetMachine(measure, /*reset_predictor=*/true);
+
+    // Functional warmup: stream addresses through the hierarchy and
+    // outcomes through the predictor with no timing, so that large
+    // caches are warm even in short timed windows (a timed warmup of
+    // the same length would leave multi-megabyte L2s cold and bias
+    // the exploration against capacity).
+    for (uint64_t i = 0; i < warmup; ++i) {
+        const MicroOp &op = workload.next();
+        switch (op.cls) {
+          case OpClass::Load:
+            hierarchy_.loadLatency(op.addr);
+            break;
+          case OpClass::Store:
+            hierarchy_.storeTouch(op.addr);
+            break;
+          case OpClass::CondBranch:
+            predictor_.predict(op.pc, op.taken);
+            break;
+          default:
+            break;
+        }
+    }
+
+    advanceLoop(workload, measure);
+    return collectStats();
+}
+
+void
+OooCore::beginTraceRun(std::shared_ptr<const TraceBuffer> trace,
+                       std::shared_ptr<const DecodedTrace> decoded,
+                       uint64_t measure, uint64_t warmup,
+                       const MemoryHierarchy *warm_state)
+{
+    srcBuf_ = std::move(trace);
+    srcDecoded_ = decoded ? std::move(decoded)
+                          : decodedTrace(srcBuf_);
+    src_ = DecodedSource{srcBuf_->ops().data(), srcDecoded_->meta(),
+                         srcBuf_->size(), 0};
+    if (src_.size < warmup) {
+        panic("OooCore: trace '%s' holds %llu ops, warmup needs %llu",
+              srcBuf_->profileName().c_str(),
+              static_cast<unsigned long long>(src_.size),
+              static_cast<unsigned long long>(warmup));
+    }
+
+    // Replay never consults the live predictor (predictions are baked
+    // into the decoded meta), so skip its reset.
+    resetMachine(measure, /*reset_predictor=*/false);
+
+    if (warm_state) {
+        // Adopt the shared post-warmup cache state: bit-identical to
+        // streaming the warmup window below, which touches nothing
+        // but the hierarchy.
+        hierarchy_.adoptState(*warm_state);
+        src_.pos = warmup;
+    } else {
+        // Functional warmup (see the streaming overload): in replay
+        // only the hierarchy trains — predictions are precomputed.
+        for (uint64_t i = 0; i < warmup; ++i) {
+            const uint8_t m = src_.meta[src_.pos];
+            if (m & kMetaIsMem) {
+                const uint64_t addr = src_.ops[src_.pos].addr;
+                if (m & kMetaIsStore)
+                    hierarchy_.storeTouch(addr);
+                else
+                    hierarchy_.loadLatency(addr);
+            }
+            ++src_.pos;
+        }
+    }
+}
+
+bool
+OooCore::advance(uint64_t commit_budget)
+{
+    const uint64_t stop =
+        commit_budget >= commitTarget_ - committed_
+            ? commitTarget_
+            : committed_ + commit_budget;
+    advanceLoop(src_, stop);
+    return committed_ >= commitTarget_;
+}
+
+SimStats
+OooCore::run(std::shared_ptr<const TraceBuffer> trace,
+             uint64_t measure, uint64_t warmup)
+{
+    beginTraceRun(std::move(trace), nullptr, measure, warmup);
+    advance(measure);
+    return finish();
 }
 
 SimStats
 OooCore::run(TraceCursor &trace, uint64_t measure, uint64_t warmup)
 {
-    return runImpl(trace, measure, warmup);
+    return run(trace.share(), measure, warmup);
 }
 
 } // namespace xps

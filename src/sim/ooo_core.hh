@@ -7,7 +7,7 @@
  *   commit   : up to `width` completed instructions leave the ROB; a
  *              committing store writes the cache hierarchy.
  *   issue    : up to `width` ready instructions issue from the ready
- *              list, subject to ALU / multiplier / cache-port limits;
+ *              set, subject to ALU / multiplier / cache-port limits;
  *              a dependent instruction may issue no earlier than its
  *              producer's wake cycle (producer issue + max(execution
  *              latency, 1 + awaken latency)), so a deeper scheduler
@@ -25,21 +25,33 @@
  *              resolves (trace-driven misprediction model: the wrong
  *              path is not simulated, the fetch redirect is).
  *
- * Scheduling is an explicit-wakeup ready-list design (DESIGN.md §6):
- * instead of re-walking the issue queue and re-testing every source
- * operand each cycle (O(IQ x cycles)), each dependence edge is
- * examined O(1) times. At dispatch an instruction counts its
- * unresolved sources and registers itself on each producer's consumer
- * list; when a producer issues it schedules a wakeup event at its
- * wake cycle (and fires early if it commits first), decrementing the
- * consumers' wait counts; instructions whose count hits zero enter an
- * age-ordered ready list from which issue selects greedily under the
- * same width/port limits as before. Memory-dependence stalls (a load
- * behind an unexecuted same-word store) are handled with per-store
- * waiter lists and retry events at the store's complete cycle, plus a
- * re-check when a newer same-word store dispatches — preserving the
- * per-cycle-scan semantics bit-exactly (the sim_test golden snapshot
- * enforces this).
+ * Scheduling is an explicit-wakeup design (DESIGN.md §6): each
+ * dependence edge is examined O(1) times. At dispatch an instruction
+ * counts its unresolved sources and links itself onto each producer's
+ * intrusive consumer chain; when a producer issues it schedules a
+ * wakeup event at its wake cycle (and fires early if it commits
+ * first), decrementing the consumers' wait counts; instructions whose
+ * count hits zero enter the *ready bitmap* — one bit per ROB slot —
+ * from which select walks the in-flight window oldest-first with
+ * count-trailing-zeros, under the same width/port limits as before.
+ * The bitmap is the age order: slot index is sequence number modulo
+ * the ROB ring, so a linear walk from the ROB head *is* the sorted
+ * ready list the previous sort + inplace_merge maintained, at zero
+ * maintenance cost (DESIGN.md §11).
+ *
+ * Per-op state lives in structure-of-arrays form: flat parallel
+ * arrays (meta byte, wait count, issued flag, complete cycle,
+ * address, consumer chain heads) indexed by `seq & robMask_`. The
+ * per-op classification switches collapse to a one-byte decoded meta
+ * (see decodeMicroOp); in trace replay the meta — including the
+ * branch-prediction outcome — is precomputed once per trace
+ * (DecodedTrace) and shared by every evaluation.
+ *
+ * Memory-dependence stalls (a load behind an unexecuted same-word
+ * store) are handled with per-store waiter lists and retry events at
+ * the store's complete cycle, plus a re-check when a newer same-word
+ * store dispatches — preserving the per-cycle-scan semantics
+ * bit-exactly (the sim_test golden snapshot enforces this).
  *
  * Loads probe the hierarchy at issue (address generation = 1 cycle);
  * store-to-load forwarding is modelled through an in-flight store
@@ -59,7 +71,7 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "sim/cache.hh"
@@ -71,7 +83,9 @@
 namespace xps
 {
 
+class TraceBuffer;
 class TraceCursor;
+class DecodedTrace;
 class InvariantChecker;
 
 namespace testhooks
@@ -110,49 +124,78 @@ class OooCore
 
     /** Same, replaying a pre-generated trace (bit-identical to the
      *  streaming overload for the same profile/stream). */
+    SimStats run(std::shared_ptr<const TraceBuffer> trace,
+                 uint64_t measure, uint64_t warmup);
+
+    /** Convenience overload: replays `trace`'s buffer from position
+     *  0. The cursor only donates its buffer handle and is not
+     *  advanced (no caller reuses one after a run). */
     SimStats run(TraceCursor &trace, uint64_t measure,
                  uint64_t warmup);
+
+    // --- resumable trace-replay API (the batched path) ---
+
+    /**
+     * Reset and warm the machine for a trace-replay run. `decoded`
+     * may be null (looked up / built via decodedTrace()). When
+     * `warm_state` is non-null it must be a hierarchy of identical
+     * geometry holding the post-warmup cache state for this exact
+     * (trace, warmup) window; it is adopted by copy and the warmup
+     * pass is skipped — bit-identical, since functional warmup
+     * touches nothing but the hierarchy in trace mode (predictions
+     * are precomputed). Follow with advance() until it returns true,
+     * then finish().
+     */
+    void beginTraceRun(std::shared_ptr<const TraceBuffer> trace,
+                       std::shared_ptr<const DecodedTrace> decoded,
+                       uint64_t measure, uint64_t warmup,
+                       const MemoryHierarchy *warm_state = nullptr);
+
+    /** Simulate until `commit_budget` more instructions commit (or
+     *  the run completes). @return run complete? */
+    bool advance(uint64_t commit_budget);
+
+    /** Measurement-window statistics of the finished run. */
+    SimStats finish() const { return collectStats(); }
+
+    /** Committed instructions of the measurement window so far (the
+     *  lockstep coordinate of a batched run: every lane of a batch is
+     *  advanced to the same committed count before being compared). */
+    uint64_t committedSoFar() const { return committed_; }
+
+    /** Cycles elapsed in the measurement window so far. At equal
+     *  committedSoFar() fewer cycles means higher partial IPC — the
+     *  ranking key of the batch screen (sim/batch.hh). */
+    uint64_t cyclesSoFar() const { return cycle_; }
+
+    /** Post-warmup hierarchy state (valid between beginTraceRun and
+     *  the first advance): the shareable warm state. */
+    const MemoryHierarchy &hierarchy() const { return hierarchy_; }
 
     const CoreConfig &config() const { return cfg_; }
 
   private:
-    /** Per-instruction in-flight state (ROB slot). The micro-op is
-     *  held by pointer: trace replay points straight into the shared
-     *  immutable buffer (no copy on the hot path); streaming
-     *  generation points into the slot's entry in `slotOps_`. */
-    struct Slot
-    {
-        const MicroOp *op = nullptr;
-        uint64_t fetchCycle = 0;
-        uint64_t completeCycle = 0; ///< valid once issued
-        uint64_t wakeCycle = 0;     ///< when dependents may issue
-        bool issued = false;
-        bool mispredict = false;
-
-        // --- scheduler state (reset at dispatch) ---
-        uint8_t waitCount = 0;      ///< unresolved register sources
-        bool inReady = false;       ///< queued for issue
-        bool wokeConsumers = false; ///< dependents already released
-        /** Register dependents waiting on this producer. */
-        std::vector<uint64_t> consumers;
-        /** Loads memory-blocked on this (store) instruction. */
-        std::vector<uint64_t> memWaiters;
-    };
-
-    /** An instruction between fetch and dispatch (op by pointer —
-     *  into the trace buffer, or into `fetchOps_` when streaming). */
-    struct Fetched
-    {
-        const MicroOp *op = nullptr;
-        uint64_t fetchCycle = 0;
-        bool mispredict = false;
-    };
-
     /** A scheduled wakeup (its cycle is the wheel bucket index). */
     struct Event
     {
         uint64_t seq;
         enum class Kind : uint8_t { ProducerWake, LoadRetry } kind;
+    };
+
+    /** A load stalled on an in-flight same-word store. */
+    struct BlockedLoad
+    {
+        uint64_t word;
+        uint64_t seq;
+    };
+
+    /** Replay source: raw op + decoded-meta arrays and a position. */
+    struct DecodedSource
+    {
+        const MicroOp *ops = nullptr;
+        const uint8_t *meta = nullptr;
+        uint64_t size = 0;
+        uint64_t pos = 0;
     };
 
     /**
@@ -254,12 +297,19 @@ class OooCore
     };
 
     /**
-     * ROB slot for an in-flight sequence number. The backing array is
-     * the ROB capacity rounded up to a power of two, so the modulo is
-     * a mask: in-flight seqs span less than robSize, hence never
-     * collide. Capacity checks use robSize itself, not the array.
+     * ROB slot index for an in-flight sequence number. The backing
+     * arrays are the ROB capacity rounded up to a power of two, so
+     * the modulo is a mask: in-flight seqs span less than robSize,
+     * hence never collide. Capacity checks use robSize itself.
      */
-    Slot &slot(uint64_t seq) { return rob_[seq & robMask_]; }
+    uint64_t slotIdx(uint64_t seq) const { return seq & robMask_; }
+
+    /** Sequence number of an *in-flight* slot index. */
+    uint64_t
+    seqOfIdx(uint64_t idx) const
+    {
+        return robHead_ + ((idx - robHead_) & robMask_);
+    }
 
     // Each phase returns how many instructions it moved; a cycle in
     // which all four return zero is provably idle (see skipIdle()).
@@ -271,21 +321,38 @@ class OooCore
     template <bool kCopyOps> uint32_t doDispatch();
     template <typename Source> uint32_t doFetch(Source &source);
     void skipIdle();
-    template <typename Source>
-    SimStats runImpl(Source &source, uint64_t measure,
-                     uint64_t warmup);
 
-    int loadLatencyFor(uint64_t seq, const Slot &s,
+    void resetMachine(uint64_t measure, bool reset_predictor);
+    template <typename Source>
+    void advanceLoop(Source &source, uint64_t stop_at);
+    SimStats collectStats() const;
+
+    int loadLatencyFor(uint64_t seq, uint64_t addr,
                        uint64_t *blocking_store);
 
-    // --- ready-list scheduler helpers ---
-    void pushReady(uint64_t seq);
-    void mergeReady();
+    // --- ready-bitmap scheduler helpers ---
+    void
+    pushReadyIdx(uint64_t idx)
+    {
+        uint64_t &word = readyBits_[idx >> 6];
+        const uint64_t bit = 1ULL << (idx & 63);
+        if ((word & bit) || sIssued_[idx])
+            return;
+        word |= bit;
+        ++readyCount_;
+    }
+
+    void
+    clearReadyIdx(uint64_t idx)
+    {
+        readyBits_[idx >> 6] &= ~(1ULL << (idx & 63));
+        --readyCount_;
+    }
+
     void pushEvent(uint64_t cycle, uint64_t seq, Event::Kind kind);
     void processWakeups();
-    void wakeEdge(uint64_t consumer_seq);
-    void releaseConsumers(Slot &s);
-    void blockLoad(uint64_t seq, const Slot &s,
+    void releaseConsumers(uint64_t idx);
+    void blockLoad(uint64_t seq, uint64_t idx,
                    uint64_t blocking_store);
     void wakeMemBlocked(uint64_t addr_word);
 
@@ -301,21 +368,52 @@ class OooCore
     static constexpr int kAgenCycles = 1;
     static constexpr int kMulLatency = 4;
     static constexpr int kForwardLatency = 2;
+    /** Terminator / null link of the intrusive consumer chains. */
+    static constexpr uint32_t kNilEdge = UINT32_MAX;
 
     MemoryHierarchy hierarchy_;
     BranchPredictor predictor_;
 
-    std::vector<Slot> rob_;
-    /** Streaming-mode op storage parallel to rob_ (unused when
-     *  replaying a trace — slots then point into the buffer). */
+    // --- per-slot state, structure-of-arrays, indexed seq & robMask_
+    /** Micro-op: into the trace buffer (replay) or slotOps_
+     *  (streaming). */
+    std::vector<const MicroOp *> sOp_;
+    /** Streaming-mode op storage (unused when replaying a trace). */
     std::vector<MicroOp> slotOps_;
+    std::vector<uint8_t> sMeta_;    ///< decoded meta byte
+    std::vector<uint8_t> sIssued_;  ///< left the IQ
+    std::vector<uint8_t> sWoke_;    ///< dependents already released
+    std::vector<uint8_t> sWaitCount_; ///< unresolved register sources
+    std::vector<uint64_t> sFetchCycle_;
+    std::vector<uint64_t> sCompleteCycle_; ///< valid once issued
+    std::vector<uint64_t> sAddr_;          ///< mem-op address
+    /**
+     * Intrusive consumer chains: consHead_[p] heads the list of
+     * register dependents of producer slot p. A link encodes
+     * (consumer slot << 1) | source-operand index; the chain
+     * continues through that operand's cell in consNext0_/consNext1_
+     * (each consumer has at most two sources, so it owns at most two
+     * chain cells — no allocation, ever). In-order commit keeps every
+     * linked consumer's slot live until the producer retires.
+     */
+    std::vector<uint32_t> consHead_;
+    std::vector<uint32_t> consNext0_;
+    std::vector<uint32_t> consNext1_;
+    /** Loads memory-blocked on this (store) slot. Indices, not seqs:
+     *  a blocked load is younger than its store, so in-order commit
+     *  keeps its slot valid until the store drains the list. */
+    std::vector<std::vector<uint32_t>> memWaiters_;
+
     uint64_t robMask_ = 0;
-    /** Sequence numbers of dispatched instructions whose register
-     *  sources are all available, oldest first. Issue walks only this
-     *  list; waiting instructions cost nothing per cycle. */
-    std::vector<uint64_t> readyList_;
-    /** Instructions woken since the last merge (unsorted). */
-    std::vector<uint64_t> newlyReady_;
+    /**
+     * Ready set: one bit per ROB slot, set when a dispatched
+     * instruction's register sources are all available. Select walks
+     * the in-flight window oldest-first (countr_zero per 64-slot
+     * word), which is exactly the age order — the slot ring is
+     * ordered by sequence number.
+     */
+    std::vector<uint64_t> readyBits_;
+    uint32_t readyCount_ = 0;
     /**
      * Calendar wheel of pending wakeup events, indexed by cycle
      * modulo the wheel size. Every event lies within the worst-case
@@ -327,18 +425,26 @@ class OooCore
      * answer without a heap.
      */
     std::vector<std::vector<Event>> wheel_;
+    /** Occupancy bitmap over wheel buckets (bit = bucket nonempty):
+     *  advancing nextEventCycle_ after a drain is a count-trailing-
+     *  zeros scan over a few words instead of a linear walk that
+     *  touches every empty bucket's header. */
+    std::vector<uint64_t> wheelBits_;
     uint64_t wheelMask_ = 0;
     uint64_t eventCount_ = 0;
     uint64_t nextEventCycle_ = UINT64_MAX;
-    /** Memory-blocked loads per 8-byte-aligned address word. */
-    std::unordered_map<uint64_t, std::vector<uint64_t>> memBlocked_;
+    /** Memory-blocked loads (flat: entries are few and short-lived;
+     *  scans filter by address word and prune retired seqs). */
+    std::vector<BlockedLoad> memBlocked_;
 
-    /** Fetched-but-not-dispatched ring (capacity fetchBufCap_,
-     *  storage a power of two for cheap index masking). */
-    std::vector<Fetched> fetchBuf_;
-    /** Streaming-mode op storage parallel to fetchBuf_ (unused when
+    // --- fetched-but-not-dispatched ring, SoA, capacity
+    // fetchBufCap_, storage a power of two for cheap index masking
+    std::vector<const MicroOp *> fOp_;
+    /** Streaming-mode op storage parallel to fOp_ (unused when
      *  replaying a trace). */
     std::vector<MicroOp> fetchOps_;
+    std::vector<uint64_t> fCycle_;
+    std::vector<uint8_t> fMeta_;
     uint64_t fbMask_ = 0;
     uint64_t fbHead_ = 0; ///< index of oldest fetched op
     uint64_t fbTail_ = 0; ///< index of next fetch slot
@@ -353,6 +459,13 @@ class OooCore
     uint64_t nextFetchCycle_ = 0;
     uint64_t committed_ = 0;
     uint64_t commitTarget_ = 0; ///< stop committing exactly here
+    uint64_t cycleGuard_ = 0;
+
+    /** Replay source state for the resumable API (keepalives pin the
+     *  buffer and decoded sidecar across advance() calls). */
+    DecodedSource src_;
+    std::shared_ptr<const TraceBuffer> srcBuf_;
+    std::shared_ptr<const DecodedTrace> srcDecoded_;
 
     /** Latest in-flight store per 8-byte-aligned address. */
     StoreMap storeBySeq_;

@@ -82,8 +82,7 @@ simulate(const WorkloadProfile &profile, const CoreConfig &config,
                   static_cast<unsigned long long>(trace.size()),
                   static_cast<unsigned long long>(opts.traceOps()));
         }
-        TraceCursor cursor(opts.trace);
-        return core.run(cursor, opts.measureInstrs,
+        return core.run(opts.trace, opts.measureInstrs,
                         opts.effectiveWarmup());
     }
     SyntheticWorkload workload(profile, opts.streamId);

@@ -6,6 +6,14 @@
  *
  *   XPS_EVAL_INSTRS      instructions per annealing evaluation
  *   XPS_SA_ITERS         annealing steps per workload
+ *   XPS_BATCH            annealing frontier width (sim/batch.hh):
+ *                        each round proposes this many neighbours and
+ *                        scores them in one batched pass over the
+ *                        shared trace with successive-halving
+ *                        screening; 1 (the default) is the scalar
+ *                        walk. The width is part of the checkpoint
+ *                        identity — scalar and batched runs do not
+ *                        resume each other's checkpoints
  *   XPS_FINAL_INSTRS     instructions for final cross-config evaluations
  *   XPS_RESULTS_DIR      cache directory for exploration outputs
  *   XPS_THREADS          worker threads for parallel exploration

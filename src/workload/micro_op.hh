@@ -69,6 +69,52 @@ struct MicroOp
     }
 };
 
+/**
+ * Decoded per-op metadata byte. The core's cycle loop asks the same
+ * handful of questions about every op it touches — class, memory-ness,
+ * does-it-end-the-fetch-group — and in trace replay asks them once per
+ * op per *configuration evaluation*. Folding the answers into one byte
+ * (decoded once per op, or once per trace via DecodedTrace) turns the
+ * per-op classification switches into single-byte tests.
+ *
+ * Bit layout:
+ *   0-2  OpClass (numeric value)
+ *   3    memory op (load or store)
+ *   4    store
+ *   5    taken control op (ends the fetch group)
+ *   6    conditional branch
+ *   7    mispredicted (predictor outcome; only DecodedTrace or the
+ *        streaming fetch stage set this)
+ */
+constexpr uint8_t kMetaClsMask = 0x07;
+constexpr uint8_t kMetaIsMem = 0x08;
+constexpr uint8_t kMetaIsStore = 0x10;
+constexpr uint8_t kMetaEndsGroup = 0x20;
+constexpr uint8_t kMetaCondBranch = 0x40;
+constexpr uint8_t kMetaMispredict = 0x80;
+
+/** Decode the static meta bits (everything except mispredict). */
+inline uint8_t
+decodeMicroOp(const MicroOp &op)
+{
+    uint8_t m = static_cast<uint8_t>(op.cls);
+    if (op.isMem())
+        m |= kMetaIsMem;
+    if (op.isStore())
+        m |= kMetaIsStore;
+    if (op.cls == OpClass::CondBranch)
+        m |= kMetaCondBranch;
+    if (op.isControl() && op.taken)
+        m |= kMetaEndsGroup;
+    return m;
+}
+
+inline bool
+metaIsLoad(uint8_t m)
+{
+    return (m & (kMetaIsMem | kMetaIsStore)) == kMetaIsMem;
+}
+
 } // namespace xps
 
 #endif // XPS_WORKLOAD_MICRO_OP_HH

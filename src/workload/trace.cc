@@ -7,6 +7,7 @@
 #include "obs/tracer.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "workload/branch_predictor.hh"
 #include "workload/generator.hh"
 
 namespace xps
@@ -193,9 +194,83 @@ sharedTrace(const WorkloadProfile &profile, uint64_t stream_id,
     return entry.buf;
 }
 
+DecodedTrace::DecodedTrace(const TraceBuffer &buffer)
+{
+    // Replaying the predictor over the whole buffer up front: each
+    // prediction depends only on the preceding branch outcomes, so the
+    // bits below equal what a core would compute live at fetch —
+    // whatever window of the buffer it runs.
+    BranchPredictor predictor;
+    const std::vector<MicroOp> &ops = buffer.ops();
+    meta_.resize(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+        const MicroOp &op = ops[i];
+        uint8_t m = decodeMicroOp(op);
+        if (op.cls == OpClass::CondBranch &&
+            !predictor.predict(op.pc, op.taken)) {
+            m |= kMetaMispredict;
+        }
+        meta_[i] = m;
+    }
+}
+
+namespace
+{
+
+struct DecodedEntry
+{
+    /** Watches buffer liveness: an expired entry is pruned. */
+    std::weak_ptr<const TraceBuffer> buf;
+    std::shared_ptr<const DecodedTrace> decoded;
+};
+
+std::mutex decodedMutex;
+std::map<const TraceBuffer *, DecodedEntry> &
+decodedRegistry()
+{
+    static std::map<const TraceBuffer *, DecodedEntry> r;
+    return r;
+}
+
+} // namespace
+
+std::shared_ptr<const DecodedTrace>
+decodedTrace(const std::shared_ptr<const TraceBuffer> &buffer)
+{
+    if (!buffer)
+        fatal("decodedTrace: null trace buffer");
+    std::lock_guard<std::mutex> lock(decodedMutex);
+    auto &reg = decodedRegistry();
+    const auto it = reg.find(buffer.get());
+    if (it != reg.end() && it->second.buf.lock() == buffer) {
+        Metrics::global().counter("trace_cache.decode_hits").add();
+        return it->second.decoded;
+    }
+    // Prune entries whose buffer died (the registry grew past them).
+    for (auto i = reg.begin(); i != reg.end();) {
+        if (i->second.buf.expired())
+            i = reg.erase(i);
+        else
+            ++i;
+    }
+    Metrics::global().counter("trace_cache.decodes").add();
+    obs::ScopedSpan span("trace.decode", "trace", [&] {
+        return obs::Args()
+            .add("workload", buffer->profileName())
+            .add("ops", buffer->size());
+    });
+    auto decoded = std::make_shared<const DecodedTrace>(*buffer);
+    reg[buffer.get()] = DecodedEntry{buffer, decoded};
+    return decoded;
+}
+
 void
 clearTraceRegistry()
 {
+    {
+        std::lock_guard<std::mutex> lock(decodedMutex);
+        decodedRegistry().clear();
+    }
     std::lock_guard<std::mutex> lock(registryMutex);
     registry().clear();
 }

@@ -103,6 +103,9 @@ class TraceCursor
 
     uint64_t generated() const { return pos_; }
     const TraceBuffer &buffer() const { return *buffer_; }
+    /** Shared handle to the underlying buffer (keepalive for the
+     *  decoded replay path). */
+    std::shared_ptr<const TraceBuffer> share() const { return buffer_; }
 
   private:
     [[noreturn]] void exhausted() const;
@@ -126,6 +129,38 @@ sharedTrace(const WorkloadProfile &profile, uint64_t stream_id,
 /** Drop all memoized traces (tests / memory pressure). Outstanding
  *  shared_ptr handles remain valid. */
 void clearTraceRegistry();
+
+/**
+ * Per-op decoded metadata sidecar for a TraceBuffer: one meta byte per
+ * micro-op (see decodeMicroOp), including the *precomputed branch
+ * prediction outcome*. The tournament predictor's state is a pure
+ * function of the branch-op subsequence from position 0 — independent
+ * of core configuration and of where the warmup/measure split falls —
+ * so every prediction the core would make during replay can be made
+ * once per trace and shared read-only by every configuration
+ * evaluation (and every lane of a batched run). Immutable after
+ * construction; concurrent readers need no synchronization.
+ */
+class DecodedTrace
+{
+  public:
+    explicit DecodedTrace(const TraceBuffer &buffer);
+
+    const uint8_t *meta() const { return meta_.data(); }
+    uint64_t size() const { return meta_.size(); }
+
+  private:
+    std::vector<uint8_t> meta_;
+};
+
+/**
+ * Memoized decode of a shared trace buffer: one DecodedTrace per live
+ * TraceBuffer, built on first need. Thread-safe; the result is safe to
+ * read concurrently and keeps itself valid independently of the
+ * registry (callers hold shared_ptr).
+ */
+std::shared_ptr<const DecodedTrace>
+decodedTrace(const std::shared_ptr<const TraceBuffer> &buffer);
 
 } // namespace xps
 
