@@ -8,6 +8,10 @@
  * parameters are normalized and weighed"; configFeatureVector()
  * documents one reasonable normalization (log-scaled capacities,
  * linear depths/widths), and the ablation bench exercises it.
+ *
+ * The generic clustering machinery (kMeans, kMeansRepresentatives)
+ * lives in util/kmeans.hh so the Explorer's workload-reduction mode
+ * can share it without a comm <-> explore dependency cycle.
  */
 
 #ifndef XPS_COMM_KMEANS_HH
@@ -17,25 +21,11 @@
 #include <vector>
 
 #include "sim/config.hh"
+#include "util/kmeans.hh"
 #include "util/rng.hh"
 
 namespace xps
 {
-
-/** K-means outcome over a point set. */
-struct KMeansResult
-{
-    std::vector<size_t> assignment; ///< cluster index per point
-    std::vector<std::vector<double>> centroids;
-    double inertia = 0.0; ///< sum of squared member-centroid distances
-};
-
-/**
- * Lloyd's algorithm with k-means++-style seeding. Deterministic for
- * a fixed rng seed.
- */
-KMeansResult kMeans(const std::vector<std::vector<double>> &points,
-                    size_t k, Rng &rng, int iterations = 64);
 
 /**
  * Embed a configuration for clustering: log2 of capacities and sizes

@@ -10,12 +10,15 @@
 #include <unordered_map>
 #include <utility>
 
+#include "explore/predictor.hh"
 #include "obs/tracer.hh"
 #include "sim/batch.hh"
 #include "util/atomic_file.hh"
 #include "util/env.hh"
+#include "util/kmeans.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "workload/characteristics.hh"
 #include "workload/trace.hh"
 
 namespace xps
@@ -43,6 +46,12 @@ memoToVector(const std::unordered_map<std::string, double> &memo)
 {
     return {memo.begin(), memo.end()};
 }
+
+/** Characterization length for the surrogate's workload features: a
+ *  short fixed stream — the features only need to *separate*
+ *  workloads, not measure them precisely, and the cost is paid once
+ *  per workload-round. */
+constexpr uint64_t kSurrogateCharInstrs = 50000;
 
 } // namespace
 
@@ -73,6 +82,25 @@ Explorer::evaluate(const WorkloadProfile &profile,
     return simulate(profile, config, opts).ipt();
 }
 
+std::vector<size_t>
+Explorer::reduceWorkloads(const std::vector<WorkloadProfile> &suite,
+                         size_t k)
+{
+    if (k == 0 || k > suite.size())
+        fatal("reduceWorkloads: k=%zu out of range for %zu workloads",
+              k, suite.size());
+    std::vector<std::vector<double>> points;
+    points.reserve(suite.size());
+    for (const auto &profile : suite)
+        points.push_back(
+            measureCharacteristics(profile).featureVector());
+    // The seed is pinned (not derived from the exploration seed):
+    // the workload -> representative mapping must be identical for
+    // any run over the same suite, or resumed and fresh runs would
+    // anneal different subsets.
+    return kMeansRepresentatives(points, k, kWorkloadClusterSeed);
+}
+
 CsvManifest
 Explorer::checkpointIdentity() const
 {
@@ -85,8 +113,12 @@ Explorer::checkpointIdentity() const
     m.set("final_eval_instrs", opts_.finalEvalInstrs);
     // The frontier width changes the walk's trajectory (multiple-try
     // proposals), so scalar and batched runs must not resume each
-    // other's checkpoints.
+    // other's checkpoints. Likewise the surrogate (its vetoes change
+    // which proposals are simulated) and the workload-reduction
+    // mapping (it changes which workloads anneal at all).
     m.set("xps_batch", envUInt("XPS_BATCH", 1));
+    m.set("xps_surrogate", envUInt("XPS_SURROGATE", 0));
+    m.set("xps_reduce_workloads", envUInt("XPS_REDUCE_WORKLOADS", 0));
     m.set("adoption_margin", formatHexDouble(opts_.adoptionMargin));
     m.set("gross_adoption_margin",
           formatHexDouble(opts_.grossAdoptionMargin));
@@ -145,6 +177,48 @@ Explorer::annealWorkloadRound(
     uint64_t evals = in.evals;
     uint64_t adoptions = in.adoptions;
 
+    // XPS_SURROGATE=1: an online ridge-regression model over (config
+    // knobs x workload characteristics) rides along with the walk
+    // (DESIGN.md §12). It learns from every full-fidelity simulation
+    // and pre-screens frontier proposals: a candidate it is
+    // confidently sure the Metropolis rule would reject is vetoed
+    // without being simulated. Its state round-trips through
+    // checkpoints so resumed runs veto identically.
+    const bool surrogate_on = envUInt("XPS_SURROGATE", 0) != 0;
+    Counter &ctr_sur_obs = metrics.counter("surrogate.observations");
+    Counter &ctr_sur_pred = metrics.counter("surrogate.predictions");
+    Counter &ctr_sur_veto = metrics.counter("surrogate.screened");
+    Histogram *err_hist =
+        Metrics::histogramsEnabled()
+            ? &metrics.histogram("surrogate.error_ppm")
+            : nullptr;
+    IpcPredictor pred;
+    Characteristics chars;
+    if (surrogate_on) {
+        obs::ScopedSpan char_span(
+            "surrogate.characterize", "explore", [&] {
+                return obs::Args()
+                    .add("workload", suite_[w].name)
+                    .add("instrs", kSurrogateCharInstrs);
+            });
+        chars = measureCharacteristics(suite_[w], kSurrogateCharInstrs);
+        if (!in.surrogate.empty() &&
+            !IpcPredictor::parse(in.surrogate, pred)) {
+            warn("explore[%s]: unparsable surrogate state; model "
+                 "restarts untrained", suite_[w].name.c_str());
+        }
+    }
+    auto observe_sim = [&](const CoreConfig &cfg, double ipt) {
+        if (!surrogate_on)
+            return;
+        const bool was_armed = pred.armed();
+        const double err =
+            pred.observe(IpcPredictor::features(cfg, chars), ipt);
+        ctr_sur_obs.add();
+        if (was_armed && err_hist)
+            err_hist->record(static_cast<uint64_t>(err * 1e6));
+    };
+
     auto objective = [&](const CoreConfig &cfg) {
         ProcPool::beat(); // liveness for the supervised mode
         const std::string key = archKey(cfg);
@@ -155,6 +229,7 @@ Explorer::annealWorkloadRound(
                                     trace);
         ++evals;
         memo.emplace(key, ipt);
+        observe_sim(cfg, ipt);
         return ipt;
     };
 
@@ -171,34 +246,62 @@ Explorer::annealWorkloadRound(
     // produces is a multiple-try variant of the scalar one, which is
     // why the width is part of the checkpoint identity.
     const uint64_t batch_width = envUInt("XPS_BATCH", 1);
+    const uint32_t frontier_width = static_cast<uint32_t>(
+        std::max<uint64_t>(1, batch_width));
     std::unique_ptr<BatchSimulator> batch;
-    if (batch_width > 1 && trace) {
+    if ((batch_width > 1 || surrogate_on) && trace) {
         BatchOptions bopts;
         bopts.measureInstrs = opts_.evalInstrs;
         batch = std::make_unique<BatchSimulator>(trace, bopts);
-        const std::vector<ScreenCut> cuts = BatchSimulator::defaultCuts(
-            static_cast<uint32_t>(batch_width));
+        const std::vector<ScreenCut> cuts =
+            BatchSimulator::defaultCuts(frontier_width);
         annealer.setFrontier(
             [&, cuts](const std::vector<CoreConfig> &cands,
+                      const FrontierContext &ctx,
                       std::vector<double> &scores,
                       std::vector<uint8_t> &full) {
                 ProcPool::beat();
                 scores.assign(cands.size(), 0.0);
-                full.assign(cands.size(), 0);
-                // Explorer-level memo first (it persists across
-                // rounds and checkpoints); misses go through the
-                // screened batch.
+                full.assign(cands.size(), kScreenPartial);
+                // Fidelity ladder: memo -> surrogate veto -> short-
+                // window cuts -> full-length confirm. The memo is
+                // first (it persists across rounds and checkpoints);
+                // then the surrogate vetoes confidently-bad
+                // proposals without simulating them at all; the
+                // survivors go through the screened batch, and only
+                // full-length results are trusted or learned from.
                 std::vector<size_t> pos;
                 std::vector<CoreConfig> to_sim;
+                std::vector<std::vector<double>> phis;
                 for (size_t i = 0; i < cands.size(); ++i) {
                     const auto it = memo.find(archKey(cands[i]));
                     if (it != memo.end()) {
                         scores[i] = it->second;
-                        full[i] = 1;
-                    } else {
-                        pos.push_back(i);
-                        to_sim.push_back(cands[i]);
+                        full[i] = kScreenFull;
+                        continue;
                     }
+                    if (surrogate_on) {
+                        std::vector<double> phi =
+                            IpcPredictor::features(cands[i], chars);
+                        ctr_sur_pred.add();
+                        if (pred.confidentlyBelow(
+                                phi, ctx.currentScore, ctx.temp)) {
+                            scores[i] = pred.predict(phi);
+                            full[i] = kScreenVeto;
+                            ctr_sur_veto.add();
+                            obs::instant(
+                                "surrogate.veto", "explore", [&] {
+                                    return obs::Args()
+                                        .add("workload",
+                                             suite_[w].name)
+                                        .add("predicted", scores[i]);
+                                });
+                            continue;
+                        }
+                        phis.push_back(std::move(phi));
+                    }
+                    pos.push_back(i);
+                    to_sim.push_back(cands[i]);
                 }
                 if (to_sim.empty())
                     return;
@@ -209,12 +312,20 @@ Explorer::annealWorkloadRound(
                         continue;
                     const double ipt = outcome.stats[j].ipt();
                     scores[pos[j]] = ipt;
-                    full[pos[j]] = 1;
+                    full[pos[j]] = kScreenFull;
                     ++evals;
                     memo.emplace(archKey(cands[pos[j]]), ipt);
+                    if (surrogate_on) {
+                        const bool was_armed = pred.armed();
+                        const double err = pred.observe(phis[j], ipt);
+                        ctr_sur_obs.add();
+                        if (was_armed && err_hist)
+                            err_hist->record(
+                                static_cast<uint64_t>(err * 1e6));
+                    }
                 }
             },
-            static_cast<uint32_t>(batch_width));
+            frontier_width);
     }
 
     AnnealerState st;
@@ -230,6 +341,12 @@ Explorer::annealWorkloadRound(
             memo.insert(wc.memo.begin(), wc.memo.end());
             evals = wc.evals;
             adoptions = wc.adoptions;
+            if (surrogate_on && !wc.surrogate.empty() &&
+                !IpcPredictor::parse(wc.surrogate, pred)) {
+                warn("explore[%s]: unparsable checkpointed surrogate "
+                     "state; model restarts untrained",
+                     suite_[w].name.c_str());
+            }
             resumed = true;
             metrics.counter("checkpoint.workload_resumes").add();
             verbose("explore[%s] resuming round %d at iteration %llu",
@@ -249,6 +366,8 @@ Explorer::annealWorkloadRound(
             wc.evals = evals;
             wc.adoptions = adoptions;
             wc.memo = memoToVector(memo);
+            if (surrogate_on)
+                wc.surrogate = pred.serialize();
             atomicWriteFile(workloadCheckpointPath(w),
                             serializeWorkloadCheckpoint(wc, identity),
                             "checkpoint.write");
@@ -275,6 +394,8 @@ Explorer::annealWorkloadRound(
     out.evals = evals;
     out.adoptions = adoptions;
     out.memo = memoToVector(memo);
+    if (surrogate_on)
+        out.surrogate = pred.serialize();
     return out;
 }
 
@@ -315,6 +436,38 @@ Explorer::exploreAll()
     for (auto &e : evals)
         e.store(0);
     std::vector<uint64_t> adoptions(n, 0);
+    // Per-workload serialized surrogate model (empty when
+    // XPS_SURROGATE is off); carried across rounds and through the
+    // suite barrier checkpoint like the memo.
+    std::vector<std::string> surrogate(n);
+
+    // XPS_REDUCE_WORKLOADS=K: anneal only the K cluster
+    // representatives of the suite's workload characteristics;
+    // rep[w] == w marks a representative. Every workload — including
+    // the skipped ones, on their representative's configuration —
+    // is still validated at full fidelity in the final phase below.
+    std::vector<size_t> rep(n);
+    for (size_t w = 0; w < n; ++w)
+        rep[w] = w;
+    const uint64_t reduce_k = envUInt("XPS_REDUCE_WORKLOADS", 0);
+    if (reduce_k > 0 && reduce_k < n) {
+        obs::ScopedSpan reduce_span("explore.reduce", "explore", [&] {
+            return obs::Args()
+                .add("workloads", static_cast<uint64_t>(n))
+                .add("clusters", reduce_k);
+        });
+        rep = reduceWorkloads(suite_,
+                              static_cast<size_t>(reduce_k));
+        size_t skipped = 0;
+        for (size_t w = 0; w < n; ++w) {
+            if (rep[w] != w)
+                ++skipped;
+        }
+        metrics.counter("surrogate.workloads_reduced").add(skipped);
+        inform("workload reduction: annealing %zu of %zu workloads "
+               "(XPS_REDUCE_WORKLOADS=%llu)", n - skipped, n,
+               static_cast<unsigned long long>(reduce_k));
+    }
 
     const uint64_t iters_per_round =
         std::max<uint64_t>(1, opts_.saIters /
@@ -339,6 +492,7 @@ Explorer::exploreAll()
                     adoptions[w] = sc.workloads[w].adoptions;
                     memo[w].insert(sc.workloads[w].memo.begin(),
                                    sc.workloads[w].memo.end());
+                    surrogate[w] = sc.workloads[w].surrogate;
                 }
                 start_round = sc.round;
                 phase = sc.phase;
@@ -376,6 +530,7 @@ Explorer::exploreAll()
             sc.workloads[w].evals = evals[w].load();
             sc.workloads[w].adoptions = adoptions[w];
             sc.workloads[w].memo = memoToVector(memo[w]);
+            sc.workloads[w].surrogate = surrogate[w];
         }
         atomicWriteFile(suiteCheckpointPath(),
                         serializeSuiteCheckpoint(sc, identity));
@@ -415,8 +570,11 @@ Explorer::exploreAll()
         phase == SuiteCheckpoint::Phase::Anneal &&
         start_round < opts_.rounds;
     if (anneal_rounds_remain) {
-        for (size_t w = 0; w < n; ++w)
-            traces[w] = sharedTrace(suite_[w], 0, 2 * opts_.evalInstrs);
+        for (size_t w = 0; w < n; ++w) {
+            if (rep[w] == w)
+                traces[w] =
+                    sharedTrace(suite_[w], 0, 2 * opts_.evalInstrs);
+        }
     }
 
     if (anneal_rounds_remain) {
@@ -436,6 +594,7 @@ Explorer::exploreAll()
             in.evals = evals[w].load();
             in.adoptions = adoptions[w];
             in.memo = memoToVector(memo[w]);
+            in.surrogate = surrogate[w];
             return in;
         };
         auto installState = [&](size_t w, const SuiteWorkloadState &out) {
@@ -445,6 +604,7 @@ Explorer::exploreAll()
             adoptions[w] = out.adoptions;
             memo[w] = std::unordered_map<std::string, double>(
                 out.memo.begin(), out.memo.end());
+            surrogate[w] = out.surrogate;
         };
 
         for (int round = start_round; round < opts_.rounds; ++round) {
@@ -456,6 +616,8 @@ Explorer::exploreAll()
                 auto worker = [&]() {
                     for (size_t w = next.fetch_add(1); w < n;
                          w = next.fetch_add(1)) {
+                        if (rep[w] != w)
+                            continue; // reduced away: rep anneals
                         const SuiteWorkloadState out =
                             annealWorkloadRound(w, round,
                                                 snapshotState(w),
@@ -496,7 +658,7 @@ Explorer::exploreAll()
                 std::vector<ProcJob> jobs;
                 std::vector<size_t> job_workload;
                 for (size_t w = 0; w < n; ++w) {
-                    if (frozen[w])
+                    if (frozen[w] || rep[w] != w)
                         continue;
                     ProcJob job;
                     job.name = suite_[w].name + ".round" +
@@ -572,8 +734,10 @@ Explorer::exploreAll()
                         return obs::Args().add("round", round);
                     });
                 for (size_t w = 0; w < n; ++w) {
+                    if (rep[w] != w)
+                        continue; // non-reps inherit after the rounds
                     for (size_t other = 0; other < n; ++other) {
-                        if (other == w)
+                        if (other == w || rep[other] != other)
                             continue;
                         if (current[other].sameArch(current[w]))
                             continue;
@@ -587,6 +751,19 @@ Explorer::exploreAll()
                             metrics.counter("explore.adoptions").add();
                         }
                     }
+                }
+            }
+            // After the last round, hand every reduced-away workload
+            // its representative's configuration — the final phase
+            // below then validates *all* workloads on their
+            // configurations at full fidelity (and gross adoption can
+            // still override a bad cluster assignment). Done before
+            // the barrier write so a resume straight into the final
+            // phase sees the propagated configurations.
+            if (round == opts_.rounds - 1) {
+                for (size_t w = 0; w < n; ++w) {
+                    if (rep[w] != w)
+                        current[w] = current[rep[w]];
                 }
             }
             // Round barrier: commit the post-adoption suite state in

@@ -118,6 +118,19 @@ class Explorer
 
     const SearchSpace &space() const { return space_; }
 
+    /**
+     * The XPS_REDUCE_WORKLOADS=K mapping: cluster the suite's
+     * workload characteristics into K groups (fixed seed
+     * kWorkloadClusterSeed, so the mapping is stable run to run) and
+     * return, for each workload, the index of its cluster's
+     * representative. exploreAll() then anneals only representatives
+     * and validates every workload — including the skipped ones, on
+     * their representative's configuration — at full fidelity in the
+     * final phase.
+     */
+    static std::vector<size_t> reduceWorkloads(
+        const std::vector<WorkloadProfile> &suite, size_t k);
+
     /** The identity manifest embedded in this exploration's
      *  checkpoints (budget, seeds, profile fingerprints, bounds). */
     CsvManifest checkpointIdentity() const;

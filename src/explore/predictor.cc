@@ -1,0 +1,239 @@
+#include "explore/predictor.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace xps
+{
+
+IpcPredictor::IpcPredictor(PredictorOptions opts) : opts_(opts)
+{
+    // Ridge prior: P0 = I / lambda.
+    const double p0 = 1.0 / opts_.lambda;
+    for (size_t d = 0; d < kDim; ++d)
+        p_[d * kDim + d] = p0;
+}
+
+std::vector<double>
+IpcPredictor::features(const CoreConfig &cfg, const Characteristics &chars)
+{
+    std::vector<double> phi;
+    phi.reserve(kDim);
+    phi.push_back(1.0); // bias
+    // Both 1/clockNs (IPT is IPC scaled by frequency) and log2(clockNs)
+    // (latency-in-cycles effects) — the model decides which matters.
+    phi.push_back(1.0 / cfg.clockNs);
+    phi.push_back(std::log2(cfg.clockNs));
+    phi.push_back(static_cast<double>(cfg.width));
+    phi.push_back(std::log2(static_cast<double>(cfg.robSize)));
+    phi.push_back(std::log2(static_cast<double>(cfg.iqSize)));
+    phi.push_back(std::log2(static_cast<double>(cfg.lsqSize)));
+    phi.push_back(static_cast<double>(cfg.schedDepth));
+    phi.push_back(static_cast<double>(cfg.lsqDepth));
+    phi.push_back(std::log2(static_cast<double>(cfg.l1CapacityBytes())));
+    phi.push_back(std::log2(static_cast<double>(cfg.l1Assoc)));
+    phi.push_back(std::log2(static_cast<double>(cfg.l1LineBytes)));
+    phi.push_back(static_cast<double>(cfg.l1Cycles));
+    phi.push_back(std::log2(static_cast<double>(cfg.l2CapacityBytes())));
+    phi.push_back(std::log2(static_cast<double>(cfg.l2Assoc)));
+    phi.push_back(std::log2(static_cast<double>(cfg.l2LineBytes)));
+    phi.push_back(static_cast<double>(cfg.l2Cycles));
+    for (double axis : chars.featureVector())
+        phi.push_back(axis);
+    if (phi.size() != kDim)
+        std::abort(); // feature schema drifted from kDim
+    return phi;
+}
+
+void
+IpcPredictor::meanAndLeverage(const std::vector<double> &phi,
+                              double &mean, double &leverage) const
+{
+    mean = 0.0;
+    leverage = 0.0;
+    for (size_t i = 0; i < kDim; ++i) {
+        mean += w_[i] * phi[i];
+        double row = 0.0;
+        for (size_t j = 0; j < kDim; ++j)
+            row += p_[i * kDim + j] * phi[j];
+        leverage += phi[i] * row;
+    }
+}
+
+double
+IpcPredictor::predict(const std::vector<double> &phi) const
+{
+    double mean, lev;
+    meanAndLeverage(phi, mean, lev);
+    return mean;
+}
+
+double
+IpcPredictor::uncertainty(const std::vector<double> &phi) const
+{
+    double mean, lev;
+    meanAndLeverage(phi, mean, lev);
+    // Noise variance estimate from the standardized residuals, scaled
+    // by the predictive leverage (1 + phi' P phi). Before any
+    // observation the noise estimate is zero, but armed() gates every
+    // consumer of this number anyway.
+    const double noise = n_ > 0 ? sse_ / static_cast<double>(n_) : 0.0;
+    const double var = noise * (1.0 + lev);
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+bool
+IpcPredictor::confidentlyBelow(const std::vector<double> &phi,
+                               double reference, double temp) const
+{
+    if (!armed())
+        return false;
+    const double thr = reference * (1.0 - opts_.vetoMargin * temp);
+    if (!(thr > 0.0))
+        return false; // margin swallows the whole score: never veto
+    double mean, lev;
+    meanAndLeverage(phi, mean, lev);
+    const double noise = sse_ / static_cast<double>(n_);
+    const double var = noise * (1.0 + lev);
+    const double sd = var > 0.0 ? std::sqrt(var) : 0.0;
+    return mean + opts_.kappa * sd < thr;
+}
+
+double
+IpcPredictor::observe(const std::vector<double> &phi, double y)
+{
+    double mean, lev;
+    meanAndLeverage(phi, mean, lev);
+    const double err =
+        y != 0.0 ? std::fabs(mean - y) / std::fabs(y) : 0.0;
+    const bool was_armed = armed();
+
+    // Recursive least squares: P phi reused for both the gain and the
+    // rank-1 downdate of P.
+    std::array<double, kDim> p_phi{};
+    for (size_t i = 0; i < kDim; ++i) {
+        double row = 0.0;
+        for (size_t j = 0; j < kDim; ++j)
+            row += p_[i * kDim + j] * phi[j];
+        p_phi[i] = row;
+    }
+    const double s = 1.0 + lev;
+    const double e = y - mean;
+    sse_ += e * e / s;
+    for (size_t i = 0; i < kDim; ++i)
+        w_[i] += (e / s) * p_phi[i];
+    for (size_t i = 0; i < kDim; ++i)
+        for (size_t j = 0; j < kDim; ++j)
+            p_[i * kDim + j] -= p_phi[i] * p_phi[j] / s;
+    ++n_;
+
+    if (was_armed) {
+        ++calibSamples_;
+        if (err > calibMax_)
+            calibMax_ = err;
+        // Bucket by power-of-two ppm: bucket b holds errors in
+        // (2^(b-1), 2^b] ppm; bucket 0 holds <= 1 ppm.
+        const double ppm = err * 1e6;
+        size_t b = 0;
+        while (b + 1 < kCalibBuckets &&
+               ppm > static_cast<double>(1ULL << b))
+            ++b;
+        ++calib_[b];
+    }
+    return err;
+}
+
+IpcPredictor::Calibration
+IpcPredictor::calibration() const
+{
+    Calibration cal;
+    cal.samples = calibSamples_;
+    cal.max = calibMax_;
+    if (calibSamples_ == 0)
+        return cal;
+    auto quantile = [&](double q) {
+        const uint64_t want = static_cast<uint64_t>(
+            q * static_cast<double>(calibSamples_ - 1)) + 1;
+        uint64_t seen = 0;
+        for (size_t b = 0; b < kCalibBuckets; ++b) {
+            seen += calib_[b];
+            if (seen >= want)
+                return static_cast<double>(1ULL << b) * 1e-6;
+        }
+        return cal.max;
+    };
+    cal.p50 = quantile(0.50);
+    cal.p90 = quantile(0.90);
+    cal.p99 = quantile(0.99);
+    return cal;
+}
+
+std::string
+IpcPredictor::serialize() const
+{
+    // One line: tag dim n sse calibSamples calibMax w[dim] P[dim^2]
+    // calib[buckets]. Reals as hex-floats for bit-exact round trips.
+    char buf[64];
+    std::ostringstream out;
+    out << "ipcpred1 " << kDim << ' ' << n_;
+    auto hex = [&](double v) {
+        std::snprintf(buf, sizeof(buf), " %a", v);
+        out << buf;
+    };
+    hex(sse_);
+    out << ' ' << calibSamples_;
+    hex(calibMax_);
+    for (size_t i = 0; i < kDim; ++i)
+        hex(w_[i]);
+    for (size_t i = 0; i < kDim * kDim; ++i)
+        hex(p_[i]);
+    for (size_t b = 0; b < kCalibBuckets; ++b)
+        out << ' ' << calib_[b];
+    return out.str();
+}
+
+bool
+IpcPredictor::parse(const std::string &text, IpcPredictor &out)
+{
+    std::istringstream in(text);
+    std::string tag;
+    size_t dim = 0;
+    if (!(in >> tag >> dim) || tag != "ipcpred1" || dim != kDim)
+        return false;
+    IpcPredictor tmp(out.opts_);
+    auto real = [&](double &v) {
+        std::string tok;
+        if (!(in >> tok))
+            return false;
+        char *end = nullptr;
+        v = std::strtod(tok.c_str(), &end);
+        return end != nullptr && *end == '\0';
+    };
+    if (!(in >> tmp.n_))
+        return false;
+    if (!real(tmp.sse_))
+        return false;
+    if (!(in >> tmp.calibSamples_))
+        return false;
+    if (!real(tmp.calibMax_))
+        return false;
+    for (size_t i = 0; i < kDim; ++i)
+        if (!real(tmp.w_[i]))
+            return false;
+    for (size_t i = 0; i < kDim * kDim; ++i)
+        if (!real(tmp.p_[i]))
+            return false;
+    for (size_t b = 0; b < kCalibBuckets; ++b)
+        if (!(in >> tmp.calib_[b]))
+            return false;
+    std::string extra;
+    if (in >> extra)
+        return false; // trailing junk
+    out = tmp;
+    return true;
+}
+
+} // namespace xps

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Online ridge-regression IPC/IPT predictor for surrogate-guided
+ * annealing (DESIGN.md §12). The model maps a feature embedding of
+ * (configuration knobs x workload characteristics) to a predicted
+ * objective score, is trained incrementally — one recursive-least-
+ * squares update per *real* simulation the annealer pays for — and
+ * reports a predictive standard deviation alongside every mean, so
+ * screening can be uncertainty-aware: a proposal is vetoed only when
+ * the model is both trained (>= minObservations updates) and
+ * confident (mean + kappa*sd still clearly below the walk's current
+ * score).
+ *
+ * The safety contract is architectural, not statistical: a veto can
+ * only *skip* a simulation the Metropolis rule would all but surely
+ * have rejected — every score the walk actually trusts, and every
+ * configuration it can adopt, still comes from a full-fidelity
+ * simulation (the confirm rung of the fidelity ladder). A wrong
+ * confident prediction can therefore waste or misdirect search
+ * effort, never corrupt a result.
+ *
+ * The entire model state serializes to one line of decimal counters
+ * and C99 hex-floats, so checkpointed explorations resume with the
+ * exact model — and hence the exact screening decisions — of an
+ * uninterrupted run.
+ */
+
+#ifndef XPS_EXPLORE_PREDICTOR_HH
+#define XPS_EXPLORE_PREDICTOR_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/config.hh"
+#include "workload/characteristics.hh"
+
+namespace xps
+{
+
+/** Screening policy of an IpcPredictor. Not serialized: the knobs
+ *  are construction-time policy, the serialized state is the learned
+ *  model. */
+struct PredictorOptions
+{
+    /** Ridge prior precision: P0 = I / lambda. */
+    double lambda = 1.0;
+    /** Updates before the model may veto anything. */
+    uint64_t minObservations = 24;
+    /** Confidence multiplier: veto only when mean + kappa * sd is
+     *  still below the threshold. */
+    double kappa = 3.0;
+    /** Temperature margin (in units of the annealer's relative
+     *  temperature) between "predicted worse" and "vetoable": a veto
+     *  requires the upper confidence bound below
+     *  current * (1 - vetoMargin * temp), i.e. a proposal whose
+     *  Metropolis acceptance probability would be at most
+     *  exp(-vetoMargin) even if the prediction is exact. Smaller is
+     *  more aggressive (more skipped work, weaker trajectory
+     *  preservation); the honesty of adopted results is unaffected
+     *  either way. */
+    double vetoMargin = 10.0;
+};
+
+class IpcPredictor
+{
+  public:
+    /** Feature dimension: 1 bias + 16 config knobs (clock twice:
+     *  1/clockNs and log2(clockNs)) + 8 workload characteristic axes
+     *  (Characteristics::featureVector). */
+    static constexpr size_t kDim = 25;
+
+    explicit IpcPredictor(PredictorOptions opts = PredictorOptions{});
+
+    /** Embed a (configuration, workload) pair. Config capacities are
+     *  log2-scaled (matching the clustering embeddings); 1/clockNs
+     *  rides along explicitly since IPT = IPC / clockNs makes the
+     *  objective near-linear in frequency. */
+    static std::vector<double> features(const CoreConfig &cfg,
+                                        const Characteristics &chars);
+
+    /** Predicted mean score for a feature vector. */
+    double predict(const std::vector<double> &phi) const;
+    /** Predictive standard deviation (noise + parameter
+     *  uncertainty). */
+    double uncertainty(const std::vector<double> &phi) const;
+
+    /** True once the model has seen minObservations updates. */
+    bool armed() const { return n_ >= opts_.minObservations; }
+
+    /**
+     * The screening decision: true iff the model is armed and the
+     * upper confidence bound (mean + kappa*sd) lies below
+     * reference * (1 - vetoMargin * temp). `reference` is the walk's
+     * round-start current score, `temp` the annealer's relative
+     * temperature entering the round.
+     */
+    bool confidentlyBelow(const std::vector<double> &phi,
+                          double reference, double temp) const;
+
+    /**
+     * One recursive-least-squares update with a full-fidelity
+     * observation `y`. Returns the *pre-update* absolute relative
+     * prediction error |predicted - y| / |y| (the calibration
+     * sample; 0 when y == 0). Calibration quantiles only accumulate
+     * once the model is armed — early wild guesses are not
+     * interesting.
+     */
+    double observe(const std::vector<double> &phi, double y);
+
+    uint64_t observations() const { return n_; }
+
+    /** Predicted-vs-actual absolute relative error quantiles over
+     *  the armed lifetime (all values are fractions, e.g. 0.031 =
+     *  3.1%). Quantiles are bucketed upper bounds (power-of-two ppm
+     *  buckets), exact enough for calibration reporting. */
+    struct Calibration
+    {
+        uint64_t samples = 0;
+        double p50 = 0.0;
+        double p90 = 0.0;
+        double p99 = 0.0;
+        double max = 0.0;
+    };
+    Calibration calibration() const;
+
+    /** Whole model state as one line of whitespace-separated tokens
+     *  (bit-exact: counters in decimal, reals as C99 hex-floats). */
+    std::string serialize() const;
+    /** Restore from serialize() output; false (out untouched) on any
+     *  malformed token or wrong token count. */
+    static bool parse(const std::string &text, IpcPredictor &out);
+
+  private:
+    void meanAndLeverage(const std::vector<double> &phi, double &mean,
+                         double &leverage) const;
+
+    PredictorOptions opts_;
+    uint64_t n_ = 0;    ///< observations
+    double sse_ = 0.0;  ///< accumulated standardized squared error
+    std::array<double, kDim> w_{};        ///< weights
+    std::array<double, kDim * kDim> p_{}; ///< inverse-covariance P
+    /** Calibration histogram: bucket b counts armed observations
+     *  with absolute relative error in (2^(b-1), 2^b] ppm. */
+    static constexpr size_t kCalibBuckets = 48;
+    std::array<uint64_t, kCalibBuckets> calib_{};
+    uint64_t calibSamples_ = 0;
+    double calibMax_ = 0.0;
+};
+
+} // namespace xps
+
+#endif // XPS_EXPLORE_PREDICTOR_HH

@@ -14,6 +14,25 @@
  *                        walk. The width is part of the checkpoint
  *                        identity — scalar and batched runs do not
  *                        resume each other's checkpoints
+ *   XPS_SURROGATE        1 = surrogate-guided screening
+ *                        (explore/predictor.hh, DESIGN.md §12): an
+ *                        online ridge-regression model trained on
+ *                        every paid simulation vetoes confidently-bad
+ *                        proposals before they reach the simulator.
+ *                        Vetoes only skip work — every adopted score
+ *                        still comes from a full-fidelity simulation.
+ *                        Part of the checkpoint identity; the model
+ *                        state rides in the checkpoint so resumed
+ *                        runs screen bit-identically. Default 0
+ *   XPS_REDUCE_WORKLOADS K = cluster the suite's workloads by their
+ *                        measured characteristics (util/kmeans.hh,
+ *                        pinned seed) and anneal only the K cluster
+ *                        representatives; the other workloads inherit
+ *                        their representative's configuration and are
+ *                        still validated at full fidelity on the
+ *                        whole suite in the final phase. 0 (default)
+ *                        explores every workload. Part of the
+ *                        checkpoint identity
  *   XPS_FINAL_INSTRS     instructions for final cross-config evaluations
  *   XPS_RESULTS_DIR      cache directory for exploration outputs
  *   XPS_THREADS          worker threads for parallel exploration

@@ -1,0 +1,138 @@
+#include "util/kmeans.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/stats_util.hh"
+
+namespace xps
+{
+
+KMeansResult
+kMeans(const std::vector<std::vector<double>> &points, size_t k,
+       Rng &rng, int iterations)
+{
+    if (points.empty())
+        fatal("kMeans: no points");
+    if (k == 0 || k > points.size())
+        fatal("kMeans: k=%zu out of range for %zu points",
+              k, points.size());
+    const size_t dim = points.front().size();
+    for (const auto &p : points) {
+        if (p.size() != dim)
+            fatal("kMeans: ragged points");
+    }
+
+    // k-means++ seeding.
+    std::vector<std::vector<double>> centroids;
+    centroids.push_back(points[rng.below(points.size())]);
+    while (centroids.size() < k) {
+        std::vector<double> d2(points.size(), 0.0);
+        double total = 0.0;
+        for (size_t i = 0; i < points.size(); ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            for (const auto &c : centroids) {
+                const double d = euclideanDistance(points[i], c);
+                best = std::min(best, d * d);
+            }
+            d2[i] = best;
+            total += best;
+        }
+        if (total <= 0.0) {
+            // All points coincide with centroids; seed arbitrarily.
+            centroids.push_back(points[centroids.size() %
+                                       points.size()]);
+            continue;
+        }
+        double pick = rng.uniform() * total;
+        size_t chosen = points.size() - 1;
+        for (size_t i = 0; i < points.size(); ++i) {
+            pick -= d2[i];
+            if (pick <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(points[chosen]);
+    }
+
+    KMeansResult result;
+    result.assignment.assign(points.size(), 0);
+    for (int iter = 0; iter < iterations; ++iter) {
+        bool changed = false;
+        for (size_t i = 0; i < points.size(); ++i) {
+            size_t best = 0;
+            double best_d = std::numeric_limits<double>::infinity();
+            for (size_t c = 0; c < k; ++c) {
+                const double d =
+                    euclideanDistance(points[i], centroids[c]);
+                if (d < best_d) {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if (result.assignment[i] != best) {
+                result.assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids; an emptied cluster keeps its position.
+        for (size_t c = 0; c < k; ++c) {
+            std::vector<double> mean_vec(dim, 0.0);
+            size_t count = 0;
+            for (size_t i = 0; i < points.size(); ++i) {
+                if (result.assignment[i] != c)
+                    continue;
+                for (size_t d = 0; d < dim; ++d)
+                    mean_vec[d] += points[i][d];
+                ++count;
+            }
+            if (count > 0) {
+                for (size_t d = 0; d < dim; ++d)
+                    mean_vec[d] /= static_cast<double>(count);
+                centroids[c] = mean_vec;
+            }
+        }
+        if (!changed)
+            break;
+    }
+
+    result.centroids = centroids;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < points.size(); ++i) {
+        const double d = euclideanDistance(
+            points[i], centroids[result.assignment[i]]);
+        result.inertia += d * d;
+    }
+    return result;
+}
+
+std::vector<size_t>
+kMeansRepresentatives(const std::vector<std::vector<double>> &points,
+                      size_t k, uint64_t seed)
+{
+    std::vector<std::vector<double>> scaled = points;
+    normalizeColumns(scaled, 1.0);
+
+    Rng rng(seed);
+    const KMeansResult km = kMeans(scaled, k, rng);
+
+    // Nearest member point to each centroid.
+    std::vector<size_t> nearest(k, 0);
+    std::vector<double> nearest_d(
+        k, std::numeric_limits<double>::infinity());
+    for (size_t i = 0; i < scaled.size(); ++i) {
+        const size_t c = km.assignment[i];
+        const double d = euclideanDistance(scaled[i], km.centroids[c]);
+        if (d < nearest_d[c]) {
+            nearest_d[c] = d;
+            nearest[c] = i;
+        }
+    }
+    std::vector<size_t> out(scaled.size());
+    for (size_t i = 0; i < scaled.size(); ++i)
+        out[i] = nearest[km.assignment[i]];
+    return out;
+}
+
+} // namespace xps

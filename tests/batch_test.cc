@@ -206,12 +206,13 @@ TEST(Annealer, FrontierWidthOneMatchesScalar)
     Annealer frontier(space, objective, params);
     frontier.setFrontier(
         [&](const std::vector<CoreConfig> &cands,
-            std::vector<double> &scores, std::vector<uint8_t> &full) {
+            const FrontierContext &, std::vector<double> &scores,
+            std::vector<uint8_t> &full) {
             scores.clear();
             full.clear();
             for (const CoreConfig &c : cands) {
                 scores.push_back(objective(c));
-                full.push_back(1);
+                full.push_back(kScreenFull);
             }
         },
         1);
@@ -240,16 +241,17 @@ TEST(Annealer, FrontierWidthEightRunsFullSchedule)
     uint64_t calls = 0;
     annealer.setFrontier(
         [&](const std::vector<CoreConfig> &cands,
-            std::vector<double> &scores, std::vector<uint8_t> &full) {
+            const FrontierContext &, std::vector<double> &scores,
+            std::vector<uint8_t> &full) {
             ++calls;
             EXPECT_LE(cands.size(), 8u);
             scores.assign(cands.size(), 0.0);
-            full.assign(cands.size(), 0);
+            full.assign(cands.size(), kScreenPartial);
             for (size_t i = 0; i < cands.size(); ++i) {
                 scores[i] = objective(cands[i]);
                 // Screen out every other candidate: auto-rejects
                 // must not derail the walk or the schedule length.
-                full[i] = i % 2 == 0;
+                full[i] = i % 2 == 0 ? kScreenFull : kScreenPartial;
             }
         },
         8);
@@ -257,4 +259,97 @@ TEST(Annealer, FrontierWidthEightRunsFullSchedule)
     EXPECT_GE(calls, params.iterations / 8);
     EXPECT_GE(r.bestScore,
               objective(CoreConfig::initial()));
+}
+
+// Degenerate screening width: a frontier of one lane with an explicit
+// cut schedule. keep >= lanes at every cut means the lone lane can
+// never be pruned — it must come back full fidelity, bit-identical to
+// the scalar run (the surrogate path runs width-1 frontiers through
+// screen() with an empty-or-trivial schedule, so this edge is load-
+// bearing).
+TEST(BatchSimulator, ScreenWidthOneWithExplicitCut)
+{
+    const WorkloadProfile &profile = spec2000int()[0];
+    const auto trace = sharedTrace(profile, 0, 2 * kInstrs);
+    const std::vector<CoreConfig> one = frontierConfigs(1, 31);
+
+    BatchOptions opts;
+    opts.measureInstrs = kInstrs;
+    BatchSimulator sim(trace, opts);
+    // defaultCuts(8) keeps 2 then 1 — both >= the single lane.
+    const ScreenOutcome outcome =
+        sim.screen(one, BatchSimulator::defaultCuts(8));
+    ASSERT_EQ(outcome.full.size(), 1u);
+    EXPECT_TRUE(outcome.full[0]);
+    expectStatsEqual(outcome.stats[0],
+                     scalarRun(profile, one[0], trace),
+                     "lone screened lane");
+    // And the no-cut schedule of width 1 degenerates to evaluate().
+    EXPECT_TRUE(BatchSimulator::defaultCuts(1).empty());
+}
+
+// A cut schedule computed for a wide frontier applied to fewer
+// proposals than the width (the annealer's last round of a schedule
+// is usually short): survivors are still full fidelity and
+// bit-identical, pruned lanes still stop early.
+TEST(BatchSimulator, ScreenFrontierLargerThanRemainingProposals)
+{
+    const WorkloadProfile &profile = spec2000int()[0];
+    const auto trace = sharedTrace(profile, 0, 2 * kInstrs);
+    const std::vector<CoreConfig> configs = frontierConfigs(3, 47);
+
+    BatchOptions opts;
+    opts.measureInstrs = kInstrs;
+    BatchSimulator sim(trace, opts);
+    const ScreenOutcome outcome =
+        sim.screen(configs, BatchSimulator::defaultCuts(8));
+    ASSERT_EQ(outcome.full.size(), configs.size());
+    size_t survivors = 0;
+    for (size_t i = 0; i < configs.size(); ++i) {
+        if (outcome.full[i]) {
+            ++survivors;
+            expectStatsEqual(outcome.stats[i],
+                             scalarRun(profile, configs[i], trace),
+                             "short-frontier survivor " +
+                                 std::to_string(i));
+        } else {
+            EXPECT_LT(outcome.stats[i].instructions, kInstrs)
+                << "pruned lane " << i;
+        }
+    }
+    EXPECT_GE(survivors, 1u);
+}
+
+// Warmup sharing via MemoryHierarchy::adoptState must not leak state
+// into the result memo: after lane B adopts the memoized post-warmup
+// hierarchy of lane A's geometry, a revisit of A is a memo hit with
+// stats still bit-identical to the scalar run.
+TEST(BatchSimulator, MemoHitAfterAdoptStateReuse)
+{
+    const WorkloadProfile &profile = spec2000int()[0];
+    const auto trace = sharedTrace(profile, 0, 2 * kInstrs);
+    const CoreConfig a = CoreConfig::initial();
+    CoreConfig b = a; // same cache geometry, different core params
+    // Shrink the window rather than grow it: smaller structures are
+    // strictly faster, so b stays legal for any timing model that
+    // admits a.
+    b.robSize = a.robSize / 2;
+    b.iqSize = a.iqSize / 2;
+    ASSERT_GE(b.robSize, b.width);
+    ASSERT_GE(b.iqSize, b.width);
+    ASSERT_FALSE(b.sameArch(a));
+
+    BatchOptions opts;
+    opts.measureInstrs = kInstrs;
+    BatchSimulator sim(trace, opts);
+    const std::vector<SimStats> first = sim.evaluate({a});
+    EXPECT_EQ(sim.memoHits(), 0u);
+
+    const std::vector<SimStats> second = sim.evaluate({b, a});
+    EXPECT_EQ(sim.memoHits(), 1u) << "revisited config must memo-hit";
+    expectStatsEqual(second[1], first[0], "memo replay of A");
+    expectStatsEqual(first[0], scalarRun(profile, a, trace),
+                     "A vs scalar");
+    expectStatsEqual(second[0], scalarRun(profile, b, trace),
+                     "B (adopted warm state) vs scalar");
 }
