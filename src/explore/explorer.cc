@@ -18,6 +18,7 @@
 #include "util/kmeans.hh"
 #include "util/logging.hh"
 #include "util/metrics.hh"
+#include "util/shutdown.hh"
 #include "workload/characteristics.hh"
 #include "workload/trace.hh"
 
@@ -426,6 +427,13 @@ Explorer::exploreAll()
         return dt.count();
     };
 
+    // With checkpointing on, SIGINT/SIGTERM become a request to stop
+    // at the next durable boundary (annealer checkpoint cadence or
+    // the round barrier) instead of dying with work in flight; the
+    // run exits kGracefulExitCode and a rerun resumes bit-identical.
+    if (ckpt)
+        installShutdownHandlers();
+
     std::vector<WorkloadResult> results(n);
     std::vector<CoreConfig> current(n, space_.initialConfig());
     std::vector<double> current_ipt(n, 0.0);
@@ -773,6 +781,16 @@ Explorer::exploreAll()
                              0);
             inform("exploration round %d/%d done", round + 1,
                    opts_.rounds);
+            // The supervised parent never enters the annealer itself,
+            // so its stop point is here, right after the barrier
+            // commit (threaded runs usually exit inside the annealer
+            // first).
+            if (ckpt && stopRequested()) {
+                inform("explore: stop requested; round %d barrier is "
+                       "durable, exiting gracefully", round + 1);
+                obs::flushTrace();
+                std::exit(kGracefulExitCode);
+            }
         }
         if (sup)
             supervisorReport_ = sup->report();

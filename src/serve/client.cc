@@ -1,0 +1,160 @@
+#include "serve/client.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace xps
+{
+namespace serve
+{
+
+namespace
+{
+using Clock = std::chrono::steady_clock;
+}
+
+Client::~Client()
+{
+    close();
+}
+
+void
+Client::close()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+    buf_.clear();
+}
+
+bool
+Client::connect(const std::string &socketPath, double timeoutS)
+{
+    close();
+    sockaddr_un addr = {};
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        error_ = "socket path too long for sun_path";
+        return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeoutS));
+    // Retry while the daemon boots (socket absent) or its backlog is
+    // briefly full (ECONNREFUSED straight after bind).
+    for (;;) {
+        fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd_ < 0) {
+            error_ = std::string("socket: ") + std::strerror(errno);
+            return false;
+        }
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) == 0)
+            return true;
+        const int err = errno;
+        ::close(fd_);
+        fd_ = -1;
+        if (Clock::now() >= deadline) {
+            error_ = std::string("connect(") + socketPath +
+                     "): " + std::strerror(err);
+            return false;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+}
+
+bool
+Client::send(const std::string &line)
+{
+    if (fd_ < 0) {
+        error_ = "not connected";
+        return false;
+    }
+    const std::string out = line + "\n";
+    size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n =
+            ::write(fd_, out.data() + off, out.size() - off);
+        if (n <= 0) {
+            if (errno == EINTR)
+                continue;
+            error_ = std::string("send: ") + std::strerror(errno);
+            close();
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+Client::receive(std::string &line, double timeoutS)
+{
+    if (fd_ < 0) {
+        error_ = "not connected";
+        return false;
+    }
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(timeoutS));
+    for (;;) {
+        const size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line = buf_.substr(0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        const auto left = std::chrono::duration_cast<
+                              std::chrono::milliseconds>(deadline -
+                                                         Clock::now())
+                              .count();
+        if (left <= 0) {
+            error_ = "timed out waiting for a response";
+            return false;
+        }
+        pollfd pfd = {fd_, POLLIN, 0};
+        const int pr =
+            ::poll(&pfd, 1, static_cast<int>(std::min<long long>(
+                                left, 1000)));
+        if (pr < 0 && errno != EINTR) {
+            error_ = std::string("poll: ") + std::strerror(errno);
+            return false;
+        }
+        if (pr <= 0)
+            continue;
+        char chunk[4096];
+        const ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+        if (n == 0) {
+            error_ = "daemon closed the connection";
+            close();
+            return false;
+        }
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error_ = std::string("read: ") + std::strerror(errno);
+            close();
+            return false;
+        }
+        buf_.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+bool
+Client::request(const std::string &line, std::string &response,
+                double timeoutS)
+{
+    return send(line) && receive(response, timeoutS);
+}
+
+} // namespace serve
+} // namespace xps

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Thin client for the xps-serve protocol: connect to the daemon's
+ * Unix socket, send newline-delimited JSON request lines, read the
+ * matching response lines. Used by the xps-client CLI, the serve test
+ * tier, and the CI smoke script; deliberately free of any knowledge
+ * of the request payloads — it moves lines.
+ */
+
+#ifndef XPS_SERVE_CLIENT_HH
+#define XPS_SERVE_CLIENT_HH
+
+#include <string>
+#include <vector>
+
+namespace xps
+{
+namespace serve
+{
+
+/** One connection to a daemon. Methods return false (with `error()`
+ *  set) on transport problems; they never fatal(). */
+class Client
+{
+  public:
+    Client() = default;
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /** Connect to `socketPath`, waiting up to `timeoutS` for the
+     *  socket to exist and accept (covers a daemon still booting). */
+    bool connect(const std::string &socketPath, double timeoutS = 5.0);
+
+    /** Send one request line (newline appended). */
+    bool send(const std::string &line);
+
+    /** Read one response line, waiting up to `timeoutS`. */
+    bool receive(std::string &line, double timeoutS = 30.0);
+
+    /** send() + receive() in one step. */
+    bool request(const std::string &line, std::string &response,
+                 double timeoutS = 30.0);
+
+    void close();
+    bool isConnected() const { return fd_ >= 0; }
+    const std::string &error() const { return error_; }
+
+  private:
+    int fd_ = -1;
+    std::string buf_;
+    std::string error_;
+};
+
+} // namespace serve
+} // namespace xps
+
+#endif // XPS_SERVE_CLIENT_HH

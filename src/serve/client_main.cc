@@ -1,0 +1,84 @@
+/**
+ * @file
+ * xps-client: one request line to a running xps-serve, one response
+ * line to stdout.
+ *
+ *   xps-client [--socket PATH] [--timeout S] ping|stats|'<json>'
+ *
+ * Exit codes map the response status for scripting: 0 ok, 1 error,
+ * 2 transport failure (no daemon, timeout, torn connection),
+ * 3 overloaded / draining (retry later).
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "obs/json.hh"
+#include "serve/client.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+using namespace xps;
+
+int
+main(int argc, char **argv)
+{
+    std::string socket = envString(
+        "XPS_SERVE_SOCKET", Budget::get().resultsDir + "/xps-serve.sock");
+    double timeout = 30.0;
+    std::string line;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("xps-client: %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            socket = value();
+        else if (arg == "--timeout")
+            timeout = std::strtod(value(), nullptr);
+        else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: xps-client [--socket PATH] "
+                        "[--timeout S] ping|stats|'<json request>'\n");
+            return 0;
+        } else if (line.empty()) {
+            // Shorthands for the two inline ops; anything else is a
+            // raw request line.
+            if (arg == "ping")
+                line = "{\"op\":\"ping\"}";
+            else if (arg == "stats")
+                line = "{\"op\":\"stats\"}";
+            else
+                line = arg;
+        } else {
+            fatal("xps-client: one request per invocation (got "
+                  "extra arg %s)", arg.c_str());
+        }
+    }
+    if (line.empty()) {
+        std::fprintf(stderr, "xps-client: no request given\n");
+        return 2;
+    }
+
+    serve::Client client;
+    std::string response;
+    if (!client.connect(socket, timeout) ||
+        !client.request(line, response, timeout)) {
+        std::fprintf(stderr, "xps-client: %s\n",
+                     client.error().c_str());
+        return 2;
+    }
+    std::printf("%s\n", response.c_str());
+
+    obs::json::Value v;
+    if (!obs::json::parse(response, v))
+        return 2;
+    const std::string status = v.stringOr("status", "");
+    if (status == "ok")
+        return 0;
+    if (status == "overloaded" || status == "retry")
+        return 3;
+    return 1;
+}

@@ -1,0 +1,119 @@
+#include "serve/journal.hh"
+
+#include <signal.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <filesystem>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+#include "util/metrics.hh"
+
+namespace xps
+{
+namespace serve
+{
+
+namespace fs = std::filesystem;
+
+Journal::Journal(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        fatal("journal: cannot create %s: %s", dir_.c_str(),
+              ec.message().c_str());
+}
+
+std::string
+Journal::path(const std::string &key) const
+{
+    return dir_ + "/job." + key + ".json";
+}
+
+void
+Journal::record(const JournalRecord &rec)
+{
+    std::ostringstream out;
+    out << "{\"key\":\"" << obs::json::escape(rec.key)
+        << "\",\"state\":\"" << obs::json::escape(rec.state)
+        << "\",\"seq\":" << rec.seq << ",\"request\":\""
+        << obs::json::escape(rec.request) << "\"}\n";
+    atomicWriteFile(path(rec.key), out.str(), "serve.journal");
+}
+
+void
+Journal::remove(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(path(key), ec);
+}
+
+std::vector<JournalRecord>
+Journal::recover()
+{
+    Metrics &metrics = Metrics::global();
+    std::vector<JournalRecord> live;
+    std::error_code ec;
+    for (const auto &entry : fs::directory_iterator(dir_, ec)) {
+        const std::string name = entry.path().filename().string();
+        // Orphaned staging temps (`<file>.tmp.<pid>.<nonce>`) from a
+        // writer that died mid-publish: remove when the pid is gone,
+        // mirroring atomicWriteFile's pre-stage sweep — the journal
+        // must not accrete garbage across crash loops.
+        const size_t tmp = name.find(".tmp.");
+        if (tmp != std::string::npos) {
+            const size_t pid_at = tmp + 5;
+            const size_t pid_end = name.find('.', pid_at);
+            const long pid = std::strtol(
+                name.c_str() + pid_at, nullptr, 10);
+            if (pid_end != std::string::npos && pid > 0 &&
+                ::kill(static_cast<pid_t>(pid), 0) == -1 &&
+                errno == ESRCH) {
+                fs::remove(entry.path(), ec);
+                metrics.counter("serve.journal_temps_swept").add();
+            }
+            continue;
+        }
+        if (name.rfind("job.", 0) != 0 ||
+            name.find(".json") == std::string::npos)
+            continue;
+        std::string content;
+        obs::json::Value v;
+        JournalRecord rec;
+        if (!readFile(entry.path().string(), content) ||
+            !obs::json::parse(content, v) || !v.isObject() ||
+            (rec.key = v.stringOr("key", "")).empty() ||
+            (rec.state = v.stringOr("state", "")).empty()) {
+            warn("journal: removing torn record %s", name.c_str());
+            fs::remove(entry.path(), ec);
+            metrics.counter("serve.journal_torn").add();
+            continue;
+        }
+        rec.seq = static_cast<uint64_t>(v.numberOr("seq", 0));
+        rec.request = v.stringOr("request", "");
+        seq_ = std::max(seq_, rec.seq + 1);
+        if (rec.state == "completed") {
+            // Publish won the race with the crash; the store has it.
+            fs::remove(entry.path(), ec);
+            continue;
+        }
+        live.push_back(std::move(rec));
+    }
+    std::sort(live.begin(), live.end(),
+              [](const JournalRecord &a, const JournalRecord &b) {
+                  return a.seq < b.seq;
+              });
+    if (!live.empty()) {
+        inform("journal: recovered %zu outstanding job(s)",
+               live.size());
+        metrics.counter("serve.journal_recovered").add(live.size());
+    }
+    return live;
+}
+
+} // namespace serve
+} // namespace xps

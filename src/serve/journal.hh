@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The crash-safe job journal (DESIGN.md §13.3). Every accepted
+ * compute job owns one record file `job.<key>.json` in the journal
+ * directory, rewritten atomically (util/atomic_file, fault site
+ * `serve.journal`) on each state transition:
+ *
+ *   accepted  -> admitted to the queue, not yet dispatched
+ *   started   -> dispatched to a pool worker
+ *   completed -> result published to the store; removed right after
+ *
+ * On boot, recover() sweeps orphaned staging temps left by a dead
+ * writer (mirroring atomicWriteFile's own sweep), removes `completed`
+ * records (the publish won the race with the crash — the store has
+ * the result), skips-and-removes torn records (a crash mid-rename
+ * can leave pre-v1 garbage; atomic writes make this near-impossible,
+ * but the reader never trusts it), and returns the rest ordered by
+ * admission sequence so a SIGKILL'd daemon resumes exactly the jobs
+ * it owed. Re-run jobs consult the result store first, so a crash
+ * between publish and record-removal costs a cache hit, never a
+ * recompute or a duplicate.
+ */
+
+#ifndef XPS_SERVE_JOURNAL_HH
+#define XPS_SERVE_JOURNAL_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xps
+{
+namespace serve
+{
+
+/** One journal record, as persisted. */
+struct JournalRecord
+{
+    std::string key; ///< result-store content key (16 hex digits)
+    std::string state; ///< "accepted", "started", or "completed"
+    uint64_t seq = 0;  ///< admission order, monotonic across boots
+    /** The original request line, verbatim — recovery re-parses it
+     *  through the same closed-world parser as live traffic. */
+    std::string request;
+};
+
+/** The journal directory manager. Single-threaded, like the daemon. */
+class Journal
+{
+  public:
+    explicit Journal(std::string dir);
+
+    /** Persist a record (atomic replace; fault site serve.journal). */
+    void record(const JournalRecord &rec);
+
+    /** Remove a job's record (after its result is published and every
+     *  waiter answered). Missing file is fine. */
+    void remove(const std::string &key);
+
+    /**
+     * Boot-time recovery: sweep dead writers' temps, drop completed
+     * and torn records, and return the outstanding jobs sorted by
+     * seq. Also primes nextSeq() past everything ever journaled.
+     */
+    std::vector<JournalRecord> recover();
+
+    /** The next admission sequence number (monotonic across boots
+     *  once recover() has run). */
+    uint64_t nextSeq() { return seq_++; }
+
+    const std::string &dir() const { return dir_; }
+
+  private:
+    std::string path(const std::string &key) const;
+
+    std::string dir_;
+    uint64_t seq_ = 1;
+};
+
+} // namespace serve
+} // namespace xps
+
+#endif // XPS_SERVE_JOURNAL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * xps-serve entry point. All policy comes from the environment (see
+ * ServerOptions::fromEnv and README "Serving"); the flags below are
+ * conveniences that override the matching knob.
+ *
+ *   xps-serve [--socket PATH] [--dir PATH] [--queue-max N]
+ *             [--workers N]
+ *
+ * Exit codes: kGracefulExitCode (99) after a clean SIGINT/SIGTERM
+ * drain, 1 on fatal boot errors (socket owned by a live daemon,
+ * unusable state directory).
+ */
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "serve/server.hh"
+#include "util/logging.hh"
+#include "util/shutdown.hh"
+
+using namespace xps;
+
+int
+main(int argc, char **argv)
+{
+    serve::ServerOptions opts = serve::ServerOptions::fromEnv();
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            if (i + 1 >= argc)
+                fatal("xps-serve: %s needs a value", arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--socket")
+            opts.socketPath = value();
+        else if (arg == "--dir")
+            opts.stateDir = value();
+        else if (arg == "--queue-max")
+            opts.queueMax =
+                static_cast<size_t>(std::strtoull(value(), nullptr, 10));
+        else if (arg == "--workers")
+            opts.workers =
+                static_cast<int>(std::strtol(value(), nullptr, 10));
+        else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: xps-serve [--socket PATH] [--dir PATH] "
+                "[--queue-max N] [--workers N]\n"
+                "env: XPS_SERVE_SOCKET XPS_SERVE_DIR "
+                "XPS_SERVE_QUEUE_MAX XPS_SERVE_DEADLINE_S "
+                "XPS_SERVE_DRAIN_S XPS_SERVE_WORKERS "
+                "XPS_SERVE_CKPT_EVERY\n");
+            return 0;
+        } else {
+            fatal("xps-serve: unknown flag %s", arg.c_str());
+        }
+    }
+    installShutdownHandlers();
+    inform("xps-serve: boot pid %d socket %s dir %s",
+           static_cast<int>(::getpid()), opts.socketPath.c_str(),
+           opts.stateDir.c_str());
+    serve::Server server(opts);
+    return server.run();
+}

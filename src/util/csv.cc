@@ -6,6 +6,7 @@
 
 #include "util/atomic_file.hh"
 #include "util/logging.hh"
+#include "util/metrics.hh"
 
 namespace xps
 {
@@ -219,9 +220,9 @@ writeCsv(const std::string &path, const CsvDoc &doc)
 
 void
 writeCsv(const std::string &path, const CsvDoc &doc,
-         const CsvManifest &manifest)
+         const CsvManifest &manifest, const char *faultSite)
 {
-    atomicWriteFile(path, renderCsv(doc, &manifest));
+    atomicWriteFile(path, renderCsv(doc, &manifest), faultSite);
 }
 
 bool
@@ -234,30 +235,128 @@ readCsv(const std::string &path, CsvDoc &doc)
     return true;
 }
 
+const char *
+csvRejectName(CsvReject reason)
+{
+    switch (reason) {
+      case CsvReject::None: return "none";
+      case CsvReject::Missing: return "missing";
+      case CsvReject::Malformed: return "malformed";
+      case CsvReject::NoManifest: return "no_manifest";
+      case CsvReject::VersionMismatch: return "version_mismatch";
+      case CsvReject::FingerprintMismatch:
+        return "fingerprint_mismatch";
+      case CsvReject::KnobMismatch: return "knob_mismatch";
+      case CsvReject::Truncated: return "truncated";
+    }
+    return "unknown";
+}
+
+namespace
+{
+
+/** Keys whose mismatch means "same schema, different experiment
+ *  identity" rather than a tuning-knob drift. */
+bool
+fingerprintKey(const std::string &key)
+{
+    return key.find("fingerprint") != std::string::npos ||
+           key.find("profile") != std::string::npos ||
+           key.find("config") != std::string::npos;
+}
+
+/**
+ * Classify how two unequal manifests differ. Priority: a "schema"
+ * difference (including a key only one side has) is a version
+ * mismatch; any differing fingerprint-ish key is a fingerprint
+ * mismatch; everything else is a knob mismatch.
+ */
+CsvReject
+classifyManifestDiff(const CsvManifest &got, const CsvManifest &want)
+{
+    const std::string *gv = got.find("schema");
+    const std::string *wv = want.find("schema");
+    if (!gv != !wv || (gv && wv && *gv != *wv))
+        return CsvReject::VersionMismatch;
+    bool fingerprint = false;
+    auto scan = [&](const CsvManifest &a, const CsvManifest &b) {
+        for (const auto &[key, value] : a.entries) {
+            const std::string *other = b.find(key);
+            if (other && *other == value)
+                continue;
+            if (fingerprintKey(key))
+                fingerprint = true;
+        }
+    };
+    scan(got, want);
+    scan(want, got);
+    return fingerprint ? CsvReject::FingerprintMismatch
+                       : CsvReject::KnobMismatch;
+}
+
+void
+countReject(CsvReject reason)
+{
+    if (reason == CsvReject::None)
+        return;
+    Metrics::global()
+        .counter(std::string("cache.reject_reason.") +
+                 csvRejectName(reason))
+        .add();
+}
+
+} // namespace
+
 bool
 readCsvValidated(const std::string &path, CsvDoc &doc,
-                 const CsvManifest &expected)
+                 const CsvManifest &expected, CsvReject &reason)
 {
+    reason = CsvReject::None;
     ParsedCsv parsed;
-    if (parseCsv(path, true, parsed) != ParseStatus::Ok)
+    switch (parseCsv(path, true, parsed)) {
+      case ParseStatus::Ok:
+        break;
+      case ParseStatus::NoFile:
+        reason = CsvReject::Missing;
+        countReject(reason);
         return false;
+      case ParseStatus::Malformed:
+        reason = CsvReject::Malformed;
+        countReject(reason);
+        warn("cache %s is malformed; recomputing", path.c_str());
+        return false;
+    }
     if (!parsed.sawManifest) {
+        reason = CsvReject::NoManifest;
+        countReject(reason);
         warn("cache %s has no manifest; recomputing", path.c_str());
         return false;
     }
     if (!(parsed.manifest == expected)) {
-        warn("cache %s is stale (manifest mismatch); recomputing",
-             path.c_str());
+        reason = classifyManifestDiff(parsed.manifest, expected);
+        countReject(reason);
+        warn("cache %s is stale (%s); recomputing", path.c_str(),
+             csvRejectName(reason));
         return false;
     }
     if (!parsed.sawFooter || !parsed.newlineTerminated ||
         parsed.footerRows != parsed.doc.rows.size()) {
+        reason = CsvReject::Truncated;
+        countReject(reason);
         warn("cache %s is torn (missing or wrong footer); recomputing",
              path.c_str());
         return false;
     }
     doc = std::move(parsed.doc);
     return true;
+}
+
+bool
+readCsvValidated(const std::string &path, CsvDoc &doc,
+                 const CsvManifest &expected)
+{
+    CsvReject reason = CsvReject::None;
+    return readCsvValidated(path, doc, expected, reason);
 }
 
 } // namespace xps

@@ -63,9 +63,12 @@ struct CsvManifest
 void writeCsv(const std::string &path, const CsvDoc &doc);
 
 /** Atomically write a cache document with manifest header and
- *  integrity footer. */
+ *  integrity footer. `faultSite`, when non-null, names the
+ *  fault-injection site the underlying atomicWriteFile visits
+ *  (util/fault.hh) — supervised publish paths pass their site. */
 void writeCsv(const std::string &path, const CsvDoc &doc,
-              const CsvManifest &manifest);
+              const CsvManifest &manifest,
+              const char *faultSite = nullptr);
 
 /**
  * Read a document; returns false if the file does not exist. Comment
@@ -76,15 +79,44 @@ void writeCsv(const std::string &path, const CsvDoc &doc,
 bool readCsv(const std::string &path, CsvDoc &doc);
 
 /**
+ * Why a validated cache read rejected its file. Ordered roughly by
+ * specificity: a schema-version difference reports VersionMismatch
+ * even though the manifests also differ elsewhere, and a fingerprint
+ * difference wins over other knob differences. Each rejection bumps
+ * the matching cache.reject_reason.<name> metrics counter, so a fleet
+ * of "recomputing" warnings can be told apart in one metrics dump.
+ */
+enum class CsvReject
+{
+    None,                ///< accepted
+    Missing,             ///< file absent
+    Malformed,           ///< garbage, ragged rows, bad manifest lines
+    NoManifest,          ///< parses but carries no identity manifest
+    VersionMismatch,     ///< manifest "schema" key differs
+    FingerprintMismatch, ///< a profile/config/fingerprint key differs
+    KnobMismatch,        ///< some other manifest key/value differs
+    Truncated,           ///< footer missing/wrong or no final newline
+};
+
+/** Stable lower-case name of a reject reason ("none", "missing",
+ *  "version_mismatch", ...) for logs and metrics counters. */
+const char *csvRejectName(CsvReject reason);
+
+/**
  * Validated cache read: true only when the file exists, parses
  * cleanly, carries a manifest equal to `expected`, and ends with an
  * intact footer whose row count matches. Any deviation — missing or
  * mismatched manifest (stale knobs, different profiles), truncation,
  * garbage, ragged rows — returns false without terminating, so the
- * caller recomputes.
+ * caller recomputes. The 4-arg overload additionally classifies the
+ * rejection (see CsvReject) for callers that branch on the cause;
+ * both overloads log the classified reason and count it under
+ * cache.reject_reason.<name>.
  */
 bool readCsvValidated(const std::string &path, CsvDoc &doc,
                       const CsvManifest &expected);
+bool readCsvValidated(const std::string &path, CsvDoc &doc,
+                      const CsvManifest &expected, CsvReject &reason);
 
 } // namespace xps
 

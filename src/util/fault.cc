@@ -30,6 +30,10 @@ const Site kSites[] = {
     {"checkpoint.write", true},  // per-workload annealing checkpoint
     {"cell.publish", true},      // supervised perf-matrix row publish
     {"sim.run", false},          // simulate() entry (the eval hot path)
+    {"serve.accept", false},     // daemon, right after accept()
+    {"serve.journal", true},     // daemon job-journal record write
+    {"serve.publish", true},     // daemon result-store publish
+    {"serve.respond", false},    // daemon, before the response write
 };
 constexpr size_t kNumSites = sizeof(kSites) / sizeof(kSites[0]);
 constexpr size_t kMaxArms = 16;

@@ -36,9 +36,13 @@
 #ifndef XPS_UTIL_PROCPOOL_HH
 #define XPS_UTIL_PROCPOOL_HH
 
+#include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace xps
@@ -114,7 +118,22 @@ struct ProcJobOutcome
     std::vector<ProcAttempt> attemptLog;
 };
 
-/** The supervised pool. Stateless between run() calls. */
+/**
+ * The supervised pool. Two driving styles share one engine:
+ *
+ *  - run(jobs): the batch mode every pre-serve caller uses — submit
+ *    everything, supervise to completion, outcomes in job order.
+ *  - submit()/poll()/takeCompleted(): the incremental mode the
+ *    xps-serve daemon event loop drives — jobs trickle in while the
+ *    loop keeps accepting client connections between poll() calls,
+ *    and finished outcomes are collected without ever blocking on
+ *    the rest of the fleet. Heartbeats, deadlines, retries and
+ *    quarantine behave identically in both modes.
+ *
+ * The pool is single-threaded: submit/poll/takeCompleted (and run)
+ * must be called from one thread, with no live worker std::threads
+ * (fork + threads do not mix).
+ */
 class ProcPool
 {
   public:
@@ -124,6 +143,34 @@ class ProcPool
      *  Never throws on worker failure — supervision is the point. */
     std::vector<ProcJobOutcome> run(const std::vector<ProcJob> &jobs);
 
+    /**
+     * Incremental mode: enqueue one job and return its ticket. The
+     * job starts on a later poll() when a worker slot is free;
+     * tickets are monotonically increasing and never reused.
+     */
+    uint64_t submit(ProcJob job);
+
+    /**
+     * One supervision iteration: launch ready jobs into free slots,
+     * wait up to `timeoutMs` for heartbeats or exits, reap finished
+     * children, kill hangs and blown deadlines, and requeue or
+     * quarantine failures. Returns immediately when there is nothing
+     * to supervise. Safe to call with 0 for a non-blocking sweep.
+     */
+    void poll(int timeoutMs);
+
+    /** Jobs submitted but not yet completed (queued, backing off, or
+     *  running). */
+    size_t inFlight() const;
+
+    /** Workers currently forked and alive. */
+    size_t activeWorkers() const { return active_.size(); }
+
+    /** Collect the outcomes of every job that reached Done or
+     *  Quarantined since the last call, as (ticket, outcome) pairs in
+     *  completion order. */
+    std::vector<std::pair<uint64_t, ProcJobOutcome>> takeCompleted();
+
     /** Child-side heartbeat; call from job inner loops. Rate-limited
      *  internally and a no-op when not inside a worker process. */
     static void beat();
@@ -131,7 +178,37 @@ class ProcPool
     const ProcPoolOptions &options() const { return opts_; }
 
   private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Active
+    {
+        uint64_t ticket;
+        pid_t pid;
+        int pipeRd;
+        Clock::time_point start;
+        Clock::time_point lastBeat;
+    };
+    struct Pending
+    {
+        uint64_t ticket;
+        Clock::time_point readyAt;
+    };
+
+    void spawn(uint64_t ticket);
+    void failAttempt(uint64_t ticket, bool hang, const std::string &why);
+    void recordAttempt(const Active &a, Clock::time_point end,
+                       std::string outcome, int exitCode, int sig);
+    void handleExit(size_t slot, int status);
+    void finish(uint64_t ticket);
+
     ProcPoolOptions opts_;
+    uint64_t nextTicket_ = 1;
+    std::deque<Pending> pending_;
+    std::vector<Active> active_;
+    /** Submitted-but-unfinished jobs and their accumulating outcomes. */
+    std::map<uint64_t, ProcJob> jobs_;
+    std::map<uint64_t, ProcJobOutcome> outcomes_;
+    std::vector<std::pair<uint64_t, ProcJobOutcome>> completed_;
 };
 
 } // namespace xps

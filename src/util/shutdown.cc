@@ -1,0 +1,52 @@
+#include "util/shutdown.hh"
+
+#include <csignal>
+
+namespace xps
+{
+
+namespace
+{
+
+volatile std::sig_atomic_t g_stop = 0;
+
+extern "C" void
+onStopSignal(int)
+{
+    g_stop = 1;
+}
+
+} // namespace
+
+void
+installShutdownHandlers()
+{
+    struct sigaction sa = {};
+    sa.sa_handler = onStopSignal;
+    ::sigemptyset(&sa.sa_mask);
+    // No SA_RESTART: a daemon parked in poll()/accept() must wake up
+    // with EINTR and notice the flag instead of sleeping through it.
+    sa.sa_flags = 0;
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool
+stopRequested()
+{
+    return g_stop != 0;
+}
+
+void
+requestStop()
+{
+    g_stop = 1;
+}
+
+void
+resetStopRequested()
+{
+    g_stop = 0;
+}
+
+} // namespace xps

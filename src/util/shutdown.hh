@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Cooperative SIGINT/SIGTERM shutdown (DESIGN.md §13.5). The handler
+ * only flips a sig_atomic_t flag; long-running loops (the annealer's
+ * checkpointed resume loop, the xps-serve accept loop) poll
+ * stopRequested() at safe points and wind down themselves: flush the
+ * current checkpoint and trace shards, then exit with
+ * kGracefulExitCode so drivers and tests can tell a graceful stop
+ * (99) from an injected fault crash (97) or a fatal error (1).
+ *
+ * Install is idempotent and per-process; forked workers inherit the
+ * disposition but the supervisor SIGKILLs them on its own shutdown
+ * path, so only the top-level process acts on the flag.
+ */
+
+#ifndef XPS_UTIL_SHUTDOWN_HH
+#define XPS_UTIL_SHUTDOWN_HH
+
+namespace xps
+{
+
+/** Exit code of a run that stopped cleanly on SIGINT/SIGTERM after
+ *  persisting its state (distinct from fault::kCrashExitCode). */
+constexpr int kGracefulExitCode = 99;
+
+/** Install the flag-flipping SIGINT/SIGTERM handlers (idempotent). */
+void installShutdownHandlers();
+
+/** True once SIGINT or SIGTERM was received. */
+bool stopRequested();
+
+/** Programmatic stop (tests; also the daemon's own drain path). */
+void requestStop();
+
+/** Clear the flag (tests only — a real process exits instead). */
+void resetStopRequested();
+
+} // namespace xps
+
+#endif // XPS_UTIL_SHUTDOWN_HH

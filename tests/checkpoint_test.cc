@@ -17,11 +17,14 @@
 #include <memory>
 #include <unistd.h>
 
+#include <csignal>
+
 #include "explore/annealer.hh"
 #include "explore/checkpoint.hh"
 #include "explore/explorer.hh"
 #include "explore/search_space.hh"
 #include "util/atomic_file.hh"
+#include "util/shutdown.hh"
 
 using namespace xps;
 
@@ -450,6 +453,53 @@ INSTANTIATE_TEST_SUITE_P(
         return "w" + std::to_string(info.param.killAfterWrites) +
                "_seed" + std::to_string(info.param.seed);
     });
+
+namespace
+{
+
+/** Death-test body for the graceful-shutdown contract: SIGTERM
+ *  arrives mid-exploration (raised from the first checkpoint write,
+ *  so the timing is deterministic) and the run must exit with
+ *  kGracefulExitCode at the next checkpoint boundary, leaving a
+ *  durable, resumable checkpoint behind. */
+[[noreturn]] void
+exploreAndSigterm(const std::string &dir, uint64_t seed)
+{
+    installShutdownHandlers();
+    ExplorerOptions opts = miniOpts(seed);
+    opts.checkpointEvery = 4;
+    opts.checkpointDir = dir;
+    auto once = std::make_shared<std::atomic<bool>>(false);
+    opts.checkpointWrittenHook = [once](const std::string &) {
+        if (!once->exchange(true))
+            ::raise(SIGTERM);
+    };
+    Explorer(miniSuite(), opts).exploreAll();
+    ::_exit(0); // reachable only if the stop request was ignored
+}
+
+} // namespace
+
+TEST(ExplorerGracefulShutdown, SigtermExitsAtBoundaryAndResumes)
+{
+    const auto golden = Explorer(miniSuite(), miniOpts(5)).exploreAll();
+
+    const std::string dir = freshDir("sigterm");
+    EXPECT_EXIT(exploreAndSigterm(dir, 5),
+                testing::ExitedWithCode(kGracefulExitCode), "");
+
+    // The graceful exit flushed a durable checkpoint...
+    ASSERT_FALSE(std::filesystem::is_empty(dir));
+
+    // ...which a fresh run resumes to the bit-identical result.
+    ExplorerOptions opts = miniOpts(5);
+    opts.checkpointEvery = 4;
+    opts.checkpointDir = dir;
+    const auto resumed = Explorer(miniSuite(), opts).exploreAll();
+    expectResultsIdentical(resumed, golden);
+    EXPECT_TRUE(std::filesystem::is_empty(dir));
+    std::filesystem::remove_all(dir);
+}
 
 TEST(ExplorerCheckpoint, StaleCheckpointFromOtherBudgetIsIgnored)
 {

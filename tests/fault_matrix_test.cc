@@ -89,6 +89,12 @@ buildScenarios()
     const uint64_t seed = envUInt("XPS_FAULT_MATRIX_SEED", 0);
     std::vector<Scenario> all;
     for (const fault::Site &site : fault::sites()) {
+        // serve.* sites live in the xps-serve daemon process, not in
+        // the explorer/matrix paths this battery drives; the serve
+        // tier (tests/serve_test.cc) runs their crash/hang/shortwrite
+        // matrix against a live daemon instead.
+        if (std::string(site.name).rfind("serve.", 0) == 0)
+            continue;
         std::vector<std::string> kinds = {"crash", "hang",
                                           "shortwrite"};
         if (site.write)

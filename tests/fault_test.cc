@@ -62,7 +62,11 @@ TEST(FaultCatalogue, RegistersTheSupervisedPipelineSites)
     EXPECT_TRUE(catalogueHas("checkpoint.write", true));
     EXPECT_TRUE(catalogueHas("cell.publish", true));
     EXPECT_TRUE(catalogueHas("sim.run", false));
-    EXPECT_GE(fault::sites().size(), 5u);
+    EXPECT_TRUE(catalogueHas("serve.accept", false));
+    EXPECT_TRUE(catalogueHas("serve.journal", true));
+    EXPECT_TRUE(catalogueHas("serve.publish", true));
+    EXPECT_TRUE(catalogueHas("serve.respond", false));
+    EXPECT_GE(fault::sites().size(), 9u);
 }
 
 // --- grammar ---------------------------------------------------------------

@@ -23,6 +23,7 @@
 #include "sim/simulator.hh"
 #include "util/atomic_file.hh"
 #include "util/csv.hh"
+#include "util/metrics.hh"
 #include "util/rng.hh"
 #include "workload/trace.hh"
 
@@ -168,6 +169,93 @@ TEST(CsvValidation, RejectsRowCountMismatch)
     atomicWriteFile(path, full);
     CsvDoc doc;
     EXPECT_FALSE(readCsvValidated(path, doc, sampleManifest()));
+}
+
+// --- csv rejection diagnostics (DESIGN.md §13.4) ---------------------------
+
+TEST(CsvRejectReason, ClassifiesEveryCause)
+{
+    CsvDoc doc;
+    CsvReject why = CsvReject::Malformed;
+
+    // Accepted: the reason is reset to None.
+    const std::string ok = tmpFile("why_ok.csv");
+    writeCsv(ok, sampleDoc(), sampleManifest());
+    EXPECT_TRUE(readCsvValidated(ok, doc, sampleManifest(), why));
+    EXPECT_EQ(why, CsvReject::None);
+
+    EXPECT_FALSE(readCsvValidated(tmpFile("why_missing.csv"), doc,
+                                  sampleManifest(), why));
+    EXPECT_EQ(why, CsvReject::Missing);
+
+    const std::string bare = tmpFile("why_bare.csv");
+    writeCsv(bare, sampleDoc()); // no-manifest writer
+    EXPECT_FALSE(readCsvValidated(bare, doc, sampleManifest(), why));
+    EXPECT_EQ(why, CsvReject::NoManifest);
+
+    // A schema difference is a version mismatch even when other keys
+    // differ too: priority version > fingerprint > knob.
+    CsvManifest v1 = sampleManifest();
+    v1.set("schema", std::string("demo v1"));
+    v1.set("profile.gzip", std::string("aaaa"));
+    const std::string versioned = tmpFile("why_version.csv");
+    writeCsv(versioned, sampleDoc(), v1);
+    CsvManifest v2 = v1;
+    v2.set("schema", std::string("demo v2"));
+    v2.set("profile.gzip", std::string("bbbb"));
+    v2.set("budget", uint64_t{43});
+    EXPECT_FALSE(readCsvValidated(versioned, doc, v2, why));
+    EXPECT_EQ(why, CsvReject::VersionMismatch);
+
+    // Same schema, different profile fingerprint: the cache belongs
+    // to different inputs.
+    CsvManifest fp = v1;
+    fp.set("profile.gzip", std::string("bbbb"));
+    fp.set("budget", uint64_t{43});
+    EXPECT_FALSE(readCsvValidated(versioned, doc, fp, why));
+    EXPECT_EQ(why, CsvReject::FingerprintMismatch);
+
+    // Same schema and fingerprints, different knob.
+    CsvManifest knob = v1;
+    knob.set("budget", uint64_t{43});
+    EXPECT_FALSE(readCsvValidated(versioned, doc, knob, why));
+    EXPECT_EQ(why, CsvReject::KnobMismatch);
+
+    // A torn tail (the final newline lost mid-write) is truncation,
+    // not garbage.
+    const std::string torn = tmpFile("why_torn.csv");
+    writeCsv(torn, sampleDoc(), sampleManifest());
+    const std::string full = slurp(torn);
+    atomicWriteFile(torn, full.substr(0, full.size() - 1));
+    EXPECT_FALSE(readCsvValidated(torn, doc, sampleManifest(), why));
+    EXPECT_EQ(why, CsvReject::Truncated);
+
+    const std::string garbage = tmpFile("why_garbage.csv");
+    atomicWriteFile(garbage, "\x01\x02\x03garbage\nrows,here");
+    EXPECT_FALSE(readCsvValidated(garbage, doc, sampleManifest(), why));
+    EXPECT_EQ(why, CsvReject::Malformed);
+}
+
+TEST(CsvRejectReason, RejectionsBumpTheirCounters)
+{
+    Metrics &metrics = Metrics::global();
+    const uint64_t before =
+        metrics.counter("cache.reject_reason.knob_mismatch").get();
+
+    const std::string path = tmpFile("why_counted.csv");
+    writeCsv(path, sampleDoc(), sampleManifest());
+    CsvManifest other = sampleManifest();
+    other.set("budget", uint64_t{1234});
+    CsvDoc doc;
+    // Both overloads classify and count, so the 3-arg caller's
+    // metrics dump explains its "recomputing" warnings too.
+    EXPECT_FALSE(readCsvValidated(path, doc, other));
+    CsvReject why = CsvReject::None;
+    EXPECT_FALSE(readCsvValidated(path, doc, other, why));
+    EXPECT_EQ(why, CsvReject::KnobMismatch);
+    EXPECT_EQ(
+        metrics.counter("cache.reject_reason.knob_mismatch").get(),
+        before + 2);
 }
 
 // --- table4/table5 cache invalidation --------------------------------------
