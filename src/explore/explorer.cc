@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "explore/predictor.hh"
+#include "obs/log.hh"
 #include "obs/tracer.hh"
 #include "sim/batch.hh"
 #include "util/atomic_file.hh"
@@ -757,6 +758,17 @@ Explorer::exploreAll()
                             current_ipt[w] = ipt;
                             ++adoptions[w];
                             metrics.counter("explore.adoptions").add();
+                            obs::log::event(
+                                obs::log::Level::Info, "explore",
+                                "round adoption", [&] {
+                                    return obs::Args()
+                                        .add("round", round)
+                                        .add("workload",
+                                             suite_[w].name)
+                                        .add("from",
+                                             suite_[other].name)
+                                        .add("ipt", ipt);
+                                });
                         }
                     }
                 }

@@ -123,24 +123,101 @@ renderMetrics(std::ostringstream &out, const ReportPaths &paths)
     if (histograms && histograms->isObject() &&
         !histograms->fields.empty()) {
         out << "  latency distributions:\n";
-        char row[160];
+        char row[192];
         std::snprintf(row, sizeof(row),
-                      "    %-18s %10s %10s %10s %10s\n", "name",
-                      "count", "p50", "p95", "max");
+                      "    %-18s %10s %10s %10s %10s %10s\n", "name",
+                      "count", "p50", "p95", "p99", "max");
         out << row;
         for (const auto &[name, h] : histograms->fields) {
             if (name == "surrogate.error_ppm")
                 continue; // ppm, not ns: rendered above
             std::snprintf(
                 row, sizeof(row),
-                "    %-18s %10llu %10s %10s %10s\n", name.c_str(),
+                "    %-18s %10llu %10s %10s %10s %10s\n", name.c_str(),
                 static_cast<unsigned long long>(h.numberOr("count", 0)),
                 formatNs(h.numberOr("p50", 0)).c_str(),
                 formatNs(h.numberOr("p95", 0)).c_str(),
+                formatNs(h.numberOr("p99", 0)).c_str(),
                 formatNs(h.numberOr("max", 0)).c_str());
             out << row;
         }
     }
+    out << "\n";
+}
+
+/**
+ * Daemon health from the same metrics dump (DESIGN.md §14): admission
+ * counters with the overload ratio, cache effectiveness, worker
+ * rollup integrity, and SLO percentiles for the serve.* histograms.
+ * Skipped for runs that never served a request unless forced.
+ */
+void
+renderServe(std::ostringstream &out, const ReportPaths &paths)
+{
+    json::Value metrics;
+    const bool loaded =
+        loadJson(paths.metrics, metrics) && metrics.isObject();
+    const uint64_t requests =
+        loaded ? counterOf(metrics, "serve.requests") : 0;
+    if (requests == 0 && !paths.serve)
+        return;
+    out << "Serve";
+    if (!loaded) {
+        out << ": no metrics dump to read daemon health from\n\n";
+        return;
+    }
+    out << "\n";
+    const uint64_t shed = counterOf(metrics, "serve.shed");
+    out << "  requests           " << requests << " (completed "
+        << counterOf(metrics, "serve.completed") << ", failed "
+        << counterOf(metrics, "serve.failed") << ", shed " << shed
+        << ")\n";
+    out << "  overload ratio     "
+        << percent(static_cast<double>(shed),
+                   static_cast<double>(requests))
+        << " shed\n";
+    const uint64_t hits = counterOf(metrics, "serve.cache_hits");
+    const uint64_t misses = counterOf(metrics, "serve.cache_misses");
+    out << "  coalesced          "
+        << counterOf(metrics, "serve.coalesced") << ", cache " << hits
+        << " hits / " << misses << " misses ("
+        << percent(static_cast<double>(hits),
+                   static_cast<double>(hits + misses))
+        << " hit ratio)\n";
+    out << "  recovered jobs     "
+        << counterOf(metrics, "serve.recovered") << ", rollups "
+        << counterOf(metrics, "pool.rollups_merged") << " merged / "
+        << counterOf(metrics, "pool.rollups_torn") << " torn\n";
+
+    const json::Value *hists = metrics.find("histograms_ns");
+    if (hists && hists->isObject()) {
+        bool header = false;
+        char row[192];
+        for (const auto &[name, h] : hists->fields) {
+            if (name.rfind("serve.", 0) != 0 || !h.isObject())
+                continue;
+            if (!header) {
+                out << "  SLO percentiles:\n";
+                std::snprintf(row, sizeof(row),
+                              "    %-22s %10s %10s %10s %10s %10s\n",
+                              "name", "count", "p50", "p95", "p99",
+                              "max");
+                out << row;
+                header = true;
+            }
+            std::snprintf(
+                row, sizeof(row),
+                "    %-22s %10llu %10s %10s %10s %10s\n", name.c_str(),
+                static_cast<unsigned long long>(h.numberOr("count", 0)),
+                formatNs(h.numberOr("p50", 0)).c_str(),
+                formatNs(h.numberOr("p95", 0)).c_str(),
+                formatNs(h.numberOr("p99", 0)).c_str(),
+                formatNs(h.numberOr("max", 0)).c_str());
+            out << row;
+        }
+    }
+    if (!paths.prometheus.empty())
+        out << "  prometheus         " << paths.prometheus << "\n";
     out << "\n";
 }
 
@@ -388,6 +465,10 @@ resolveReportPaths(const std::string &dir)
     ReportPaths paths;
     paths.dir = dir;
     paths.metrics = existingFile(dir + "/metrics.json");
+    // A serve daemon's registry dump naturally lands in its state dir
+    // next to metrics.prom; fall back there when the root has none.
+    if (paths.metrics.empty())
+        paths.metrics = existingFile(dir + "/serve/metrics.json");
     paths.trace = existingFile(dir + "/trace.json");
     for (const char *name :
          {"supervisor_report.json", "matrix_supervisor_report.json"}) {
@@ -398,6 +479,7 @@ resolveReportPaths(const std::string &dir)
     std::error_code ec;
     if (std::filesystem::is_directory(dir + "/checkpoints", ec))
         paths.checkpointDir = dir + "/checkpoints";
+    paths.prometheus = existingFile(dir + "/serve/metrics.prom");
     return paths;
 }
 
@@ -407,6 +489,7 @@ renderReport(const ReportPaths &paths)
     std::ostringstream out;
     out << "xps-report: " << paths.dir << "\n\n";
     renderMetrics(out, paths);
+    renderServe(out, paths);
     renderTrace(out, paths);
     renderSupervision(out, paths);
     renderCheckpoints(out, paths);

@@ -36,6 +36,12 @@ struct ReportPaths
     /** supervisor_report.json / matrix_supervisor_report.json. */
     std::vector<std::string> supervisorReports;
     std::string checkpointDir; ///< checkpoints/ ("" = absent)
+    /** serve/metrics.prom Prometheus snapshot ("" = absent). */
+    std::string prometheus;
+    /** Force the Serve section (--serve) even when the metrics dump
+     *  carries no serve.* counters; by default it renders only for
+     *  runs that actually served requests. */
+    bool serve = false;
 };
 
 /**

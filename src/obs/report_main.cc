@@ -7,6 +7,8 @@
  * Options:
  *   --metrics <file>   metrics JSON (default <dir>/metrics.json)
  *   --trace <file>     merged trace JSON (default <dir>/trace.json)
+ *   --serve            force the daemon-health section even when the
+ *                      metrics dump has no serve.* counters
  */
 
 #include <cstdio>
@@ -20,16 +22,19 @@ main(int argc, char **argv)
 {
     std::string dir;
     std::string metrics, trace;
+    bool serve = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--metrics" && i + 1 < argc) {
             metrics = argv[++i];
         } else if (arg == "--trace" && i + 1 < argc) {
             trace = argv[++i];
+        } else if (arg == "--serve") {
+            serve = true;
         } else if (arg == "-h" || arg == "--help") {
             std::printf(
                 "usage: xps-report [--metrics FILE] [--trace FILE] "
-                "<results-dir>\n");
+                "[--serve] <results-dir>\n");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "xps-report: unknown option %s\n",
@@ -56,6 +61,7 @@ main(int argc, char **argv)
         paths.metrics = metrics;
     if (!trace.empty())
         paths.trace = trace;
+    paths.serve = serve;
     const std::string report = xps::obs::renderReport(paths);
     std::fwrite(report.data(), 1, report.size(), stdout);
     return 0;

@@ -11,7 +11,9 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
+#include <map>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hh"
@@ -57,7 +59,29 @@ struct TracerState
     bool atexitArmed = false;
     bool forkHookArmed = false;
     bool writeFailed = false;
+    bool dropWarned = false;    ///< warn-once for dropped spans
+    bool suppressMerge = false; ///< XPS_TRACE_MERGE=0: shard-only
 };
+
+/**
+ * The ambient request id, escaped once at set time. A leaf lock of
+ * its own: the structured logger reads it from inside its emit path
+ * (which may itself be reached from a warn() under the tracer
+ * mutex), so it must never share the tracer's lock.
+ */
+struct RidState
+{
+    std::mutex mutex;
+    std::string rid;
+    std::string ridEscaped;
+};
+
+RidState &
+ridState()
+{
+    static RidState *r = new RidState();
+    return *r;
+}
 
 TracerState &
 state()
@@ -82,6 +106,30 @@ shardPathFor(const TracerState &s, pid_t pid)
     return s.shardDir + "/shard." + std::to_string(pid) + ".jsonl";
 }
 
+/** FNV-1a 64-bit: stable flow ids from request-id strings. */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Buffered events that can no longer reach the shard are counted,
+ *  never lost silently (trace.dropped_spans). Caller holds the
+ *  tracer lock; the metrics mutex is a leaf below it. */
+void
+countDroppedLocked(const std::string &pending)
+{
+    const size_t lines = static_cast<size_t>(
+        std::count(pending.begin(), pending.end(), '\n'));
+    if (lines)
+        Metrics::global().counter("trace.dropped_spans").add(lines);
+}
+
 /** Write `pending` to this process's shard. Caller holds the lock. */
 void
 flushLocked(TracerState &s, uint64_t nowTsNs)
@@ -97,10 +145,13 @@ flushLocked(TracerState &s, uint64_t nowTsNs)
         if (s.fd < 0) {
             // Tracing must never take down the run: drop events,
             // warn once, and stop trying.
-            warn("trace: cannot open shard %s: %s; dropping events",
+            warn("trace: cannot open shard %s: %s; dropping events "
+                 "(see trace.dropped_spans)",
                  shardPathFor(s, ::getpid()).c_str(),
                  std::strerror(errno));
             s.writeFailed = true;
+            s.dropWarned = true;
+            countDroppedLocked(s.pending);
             s.pending.clear();
             return;
         }
@@ -112,9 +163,12 @@ flushLocked(TracerState &s, uint64_t nowTsNs)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
-            warn("trace: shard write failed: %s; dropping events",
+            warn("trace: shard write failed: %s; dropping events "
+                 "(see trace.dropped_spans)",
                  std::strerror(errno));
             s.writeFailed = true;
+            s.dropWarned = true;
+            countDroppedLocked(s.pending.substr(off));
             break;
         }
         off += static_cast<size_t>(n);
@@ -140,6 +194,7 @@ childAfterFork()
     s.fd = -1;
     s.pending.clear();
     s.writeFailed = false;
+    s.dropWarned = false;
 }
 
 void
@@ -148,6 +203,16 @@ appendEvent(const char *name, const char *cat, char ph,
             const std::string &args)
 {
     TracerState &s = state();
+    // Copy the ambient rid before taking the tracer lock (and fully
+    // release the rid lock first): the warn path below runs under
+    // the tracer lock and re-reads the rid through the log bridge,
+    // so holding both here would invert the order.
+    std::string rid;
+    {
+        RidState &r = ridState();
+        std::lock_guard<std::mutex> ridLock(r.mutex);
+        rid = r.ridEscaped;
+    }
     char head[256];
     const int head_len = std::snprintf(
         head, sizeof(head),
@@ -171,8 +236,24 @@ appendEvent(const char *name, const char *cat, char ph,
     std::lock_guard<std::mutex> lock(s.mutex);
     if (!detail::gEnabled)
         return;
+    if (s.writeFailed) {
+        // The shard is gone (XPS_TRACE_BUFFER_KB ring cannot drain):
+        // count instead of dropping silently, and say so once.
+        Metrics::global().counter("trace.dropped_spans").add();
+        if (!s.dropWarned) {
+            s.dropWarned = true;
+            warn("trace: shard unwritable; dropping spans "
+                 "(see trace.dropped_spans)");
+        }
+        return;
+    }
     s.pending.append(head, static_cast<size_t>(head_len));
     s.pending.append(mid, static_cast<size_t>(mid_len));
+    if (!rid.empty()) {
+        s.pending += ",\"rid\":\"";
+        s.pending += rid;
+        s.pending += "\"";
+    }
     if (!args.empty()) {
         s.pending += ",\"args\":";
         s.pending += args;
@@ -189,10 +270,10 @@ mergeAtExit()
     TracerState &s = state();
     if (!detail::gEnabled)
         return;
-    if (::getpid() == s.originPid)
+    if (::getpid() == s.originPid && !s.suppressMerge)
         mergeTrace();
     else
-        flushTrace(); // forked child exiting via exit(): keep spans
+        flushTrace(); // forked child / shard-only mode: keep spans
 }
 
 void
@@ -322,6 +403,8 @@ configureTracing(const std::string &mergedPath, uint64_t bufferKb)
     if (bufferKb == 0)
         bufferKb = envUInt("XPS_TRACE_BUFFER_KB", 64);
     s.bufferBytes = std::max<uint64_t>(1, bufferKb) * 1024;
+    s.dropWarned = false;
+    s.suppressMerge = envUInt("XPS_TRACE_MERGE", 1) == 0;
     s.originPid = ::getpid();
     s.lastFlushNs = detail::nowNs();
     armHooksLocked(s);
@@ -377,6 +460,23 @@ setClockForTest(uint64_t (*clock)())
     gClockFn = clock;
 }
 
+void
+setRequestContext(const std::string &rid)
+{
+    RidState &r = ridState();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    r.rid = rid;
+    r.ridEscaped = json::escape(rid);
+}
+
+std::string
+requestContext()
+{
+    RidState &r = ridState();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    return r.rid;
+}
+
 MergeStats
 mergeTrace()
 {
@@ -404,6 +504,17 @@ mergeTrace()
         std::string line;
     };
     std::vector<Ev> events;
+    // First rid-stamped span of every (pid, tid): the anchor points
+    // the generated flow events bind to (DESIGN.md §14).
+    struct FlowAnchor
+    {
+        double ts = 0;  ///< span start (µs)
+        double mid = 0; ///< span midpoint (µs) — inside the slice
+        int pid = 0;
+        int tid = 0;
+    };
+    std::map<std::string, std::map<std::pair<int, int>, FlowAnchor>>
+        flowAnchors;
     std::error_code ec;
     std::filesystem::directory_iterator it(shardDir, ec);
     if (!ec) {
@@ -439,6 +550,32 @@ mergeTrace()
                     ++stats.tornLines;
                     continue;
                 }
+                const json::Value *rid = ev.find("rid");
+                const json::Value *ph = ev.find("ph");
+                const json::Value *pid = ev.find("pid");
+                const json::Value *tid = ev.find("tid");
+                if (rid && rid->type == json::Value::Type::String &&
+                    !rid->str.empty() && ph &&
+                    ph->type == json::Value::Type::String &&
+                    ph->str == "X" && pid &&
+                    pid->type == json::Value::Type::Number && tid &&
+                    tid->type == json::Value::Type::Number) {
+                    const json::Value *dur = ev.find("dur");
+                    const double ts = ev.find("ts")->number;
+                    const double durUs =
+                        dur && dur->type == json::Value::Type::Number
+                            ? dur->number
+                            : 0;
+                    const std::pair<int, int> key{
+                        static_cast<int>(pid->number),
+                        static_cast<int>(tid->number)};
+                    auto &anchor = flowAnchors[rid->str];
+                    auto found = anchor.find(key);
+                    if (found == anchor.end() ||
+                        ts < found->second.ts)
+                        anchor[key] = {ts, ts + durUs / 2, key.first,
+                                       key.second};
+                }
                 events.push_back(
                     {ev.find("ts")->number, std::move(line)});
                 ++valid;
@@ -447,6 +584,43 @@ mergeTrace()
                 ++stats.tornShards;
             else
                 ++stats.shards;
+        }
+    }
+    // Generate Perfetto flow events per request id: bind the first
+    // rid-stamped span of each (pid, tid) into one arrowed chain
+    // ("s" -> "t"... -> "f"), anchored at span midpoints so every
+    // flow point lands inside its slice. A rid seen by only one
+    // (pid, tid) has nothing to connect.
+    for (const auto &[rid, groups] : flowAnchors) {
+        if (groups.size() < 2)
+            continue;
+        std::vector<FlowAnchor> chain;
+        chain.reserve(groups.size());
+        for (const auto &[key, anchor] : groups)
+            chain.push_back(anchor);
+        std::sort(chain.begin(), chain.end(),
+                  [](const FlowAnchor &a, const FlowAnchor &b) {
+                      return a.mid < b.mid;
+                  });
+        const std::string escaped = json::escape(rid);
+        char idHex[24];
+        std::snprintf(idHex, sizeof(idHex), "%016llx",
+                      static_cast<unsigned long long>(fnv1a(rid)));
+        for (size_t i = 0; i < chain.size(); ++i) {
+            const char ph =
+                i == 0 ? 's' : (i + 1 == chain.size() ? 'f' : 't');
+            char line[256];
+            const int n = std::snprintf(
+                line, sizeof(line),
+                "{\"name\":\"request\",\"cat\":\"flow\","
+                "\"ph\":\"%c\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,"
+                "\"id\":\"0x%s\"%s,\"args\":{\"rid\":\"%s\"}}",
+                ph, chain[i].mid, chain[i].pid, chain[i].tid, idHex,
+                ph == 'f' ? ",\"bp\":\"e\"" : "", escaped.c_str());
+            events.push_back(
+                {chain[i].mid,
+                 std::string(line, static_cast<size_t>(n))});
+            ++stats.flowEvents;
         }
     }
     std::stable_sort(events.begin(), events.end(),
@@ -489,6 +663,8 @@ mergeTrace()
     Metrics &metrics = Metrics::global();
     metrics.counter("trace.shards_merged").add(stats.shards);
     metrics.counter("trace.events_merged").add(stats.events);
+    if (stats.flowEvents)
+        metrics.counter("trace.flow_events").add(stats.flowEvents);
     if (stats.tornShards)
         metrics.counter("trace.shards_torn").add(stats.tornShards);
     if (stats.tornLines)

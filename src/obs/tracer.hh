@@ -26,10 +26,25 @@
  * process-global flag — perf_microbench is unchanged. Args strings
  * are built lazily, only when the branch is taken.
  *
+ * Request-scoped tracing (DESIGN.md §14): setRequestContext() /
+ * RequestScope stamp every subsequent event of this process with a
+ * request id ("rid"), and the merger emits Perfetto flow events
+ * ("ph":"s"/"t"/"f") binding the first rid-stamped span of each
+ * process into one arrowed flow — a serve query is followable from
+ * the client through the daemon into its forked worker.
+ *
+ * If the shard becomes unwritable, events are counted into the
+ * trace.dropped_spans counter and a single warning is emitted —
+ * tracing never takes down the run, but it never drops silently
+ * either.
+ *
  * Knobs: XPS_TRACE_JSON (merged output path; arms tracing),
  * XPS_TRACE_BUFFER_KB (per-process buffered bytes before a shard
  * flush, default 64; the buffer also drains on a ~250 ms cadence so
- * a hung worker's recent spans reach its shard before the SIGKILL).
+ * a hung worker's recent spans reach its shard before the SIGKILL),
+ * XPS_TRACE_MERGE (0 = shard-only mode: flush at exit but never
+ * merge — for processes like xps-client that join a trace owned by a
+ * longer-lived daemon).
  */
 
 #ifndef XPS_OBS_TRACER_HH
@@ -145,11 +160,44 @@ instant(const char *name, const char *cat, ArgsFn &&argsFn)
         detail::emitInstant(name, cat, argsFn().str());
 }
 
+/**
+ * Set the ambient request id: every event this process records from
+ * now on carries a top-level "rid" field (and structured log events
+ * pick it up too). "" clears. Cheap; safe with tracing disarmed.
+ */
+void setRequestContext(const std::string &rid);
+
+/** The ambient request id ("" when none). */
+std::string requestContext();
+
+/** RAII request context: set on construction, restore the previous
+ *  context on destruction. The serve daemon scopes each request's
+ *  handling; workers set it once after fork. */
+class RequestScope
+{
+  public:
+    explicit RequestScope(const std::string &rid)
+        : prev_(requestContext())
+    {
+        setRequestContext(rid);
+    }
+
+    ~RequestScope() { setRequestContext(prev_); }
+
+    RequestScope(const RequestScope &) = delete;
+    RequestScope &operator=(const RequestScope &) = delete;
+
+  private:
+    std::string prev_;
+};
+
 /** Outcome of merging trace shards into the final timeline. */
 struct MergeStats
 {
     size_t shards = 0;     ///< shard files merged
     size_t events = 0;     ///< events in the merged timeline
+                           ///< (including generated flow events)
+    size_t flowEvents = 0; ///< flow events generated from rids
     size_t tornShards = 0; ///< shard files skipped entirely
     size_t tornLines = 0;  ///< invalid trailing/interior lines skipped
 };

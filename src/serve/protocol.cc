@@ -131,6 +131,7 @@ opName(Request::Op op)
     switch (op) {
       case Request::Op::Ping: return "ping";
       case Request::Op::Stats: return "stats";
+      case Request::Op::Metrics: return "metrics";
       case Request::Op::Whatif: return "whatif";
       case Request::Op::Matrix: return "matrix";
       case Request::Op::Explore: return "explore";
@@ -150,6 +151,8 @@ parseRequest(const std::string &line, Request &req, std::string &error)
         req.op = Request::Op::Ping;
     else if (op == "stats")
         req.op = Request::Op::Stats;
+    else if (op == "metrics")
+        req.op = Request::Op::Metrics;
     else if (op == "whatif")
         req.op = Request::Op::Whatif;
     else if (op == "matrix")
@@ -161,6 +164,9 @@ parseRequest(const std::string &line, Request &req, std::string &error)
 
     req.id = root.stringOr("id", "");
     req.client = root.stringOr("client", "anon");
+    req.rid = root.stringOr("rid", "");
+    if (req.rid.size() > 64)
+        return fail(error, "rid must be at most 64 characters");
     req.deadlineS = root.numberOr("deadline_s", 0.0);
     if (req.deadlineS < 0 || req.deadlineS > 86400)
         return fail(error, "deadline_s must be in [0, 86400]");

@@ -40,16 +40,23 @@ struct Request
 {
     enum class Op
     {
-        Ping,   ///< liveness probe, answered inline
-        Stats,  ///< serve counters + queue depth, answered inline
-        Whatif, ///< IPT of each workload on one configuration
-        Matrix, ///< workloads x configs IPT matrix
-        Explore ///< full per-workload exploration (annealing)
+        Ping,    ///< liveness probe, answered inline
+        Stats,   ///< serve counters + queue depth, answered inline
+        Metrics, ///< live counters + latency percentiles, inline
+        Whatif,  ///< IPT of each workload on one configuration
+        Matrix,  ///< workloads x configs IPT matrix
+        Explore  ///< full per-workload exploration (annealing)
     };
 
     Op op = Op::Ping;
     std::string id;     ///< echoed in the response (client-chosen)
     std::string client; ///< fair-share identity; "anon" when absent
+    /** Distributed-tracing request id (DESIGN.md §14): minted by
+     *  xps-client (or the daemon when absent), stamped onto every
+     *  span the request touches across client, daemon and worker.
+     *  Deliberately NOT part of requestIdentity() — identical queries
+     *  with different rids must still coalesce and cache-hit. */
+    std::string rid;
     /** Wall-clock deadline for the compute job in seconds; 0 = use
      *  the server default (XPS_SERVE_DEADLINE_S). */
     double deadlineS = 0.0;

@@ -11,6 +11,7 @@
 #include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <sstream>
@@ -19,6 +20,7 @@
 #include "explore/explorer.hh"
 #include "explore/supervisor.hh"
 #include "obs/json.hh"
+#include "obs/log.hh"
 #include "obs/tracer.hh"
 #include "sim/simulator.hh"
 #include "util/atomic_file.hh"
@@ -184,6 +186,10 @@ ServerOptions::fromEnv()
     opts.maxAttempts =
         static_cast<int>(envInt("XPS_JOB_RETRIES", 3));
     opts.checkpointEvery = envUInt("XPS_SERVE_CKPT_EVERY", 8);
+    // Fractional cadences matter here (CI scrapes fast test runs),
+    // so this knob alone parses as a double.
+    opts.metricsExportS = std::strtod(
+        envString("XPS_METRICS_EXPORT_S", "0").c_str(), nullptr);
     return opts;
 }
 
@@ -313,6 +319,10 @@ Server::boot()
     inform("xps-serve: listening on %s (%d workers, queue max %zu)",
            opts_.socketPath.c_str(), pool_.options().workers,
            opts_.queueMax);
+    // An export cadence implies a scraper wanting percentiles.
+    if (opts_.metricsExportS > 0)
+        Metrics::enableHistograms();
+    maybeExportMetrics(true);
     booted_ = true;
 }
 
@@ -339,6 +349,11 @@ Server::recoverJournal()
         Job job;
         job.seq = rec.seq;
         job.key = rec.key;
+        // A client-minted rid survives recovery through the journaled
+        // request line; a daemon-minted one did not, so re-mint.
+        if (req.rid.empty())
+            req.rid = "r" + std::to_string(::getpid()) + "-" +
+                      std::to_string(rec.seq);
         job.req = std::move(req);
         job.identity = identity;
         job.requestLine = rec.request;
@@ -368,6 +383,7 @@ Server::step(int timeoutMs)
     dispatch();
     pool_.poll(0);
     harvest();
+    maybeExportMetrics(false);
 
     std::vector<pollfd> fds;
     fds.push_back({listenFd_, POLLIN, 0});
@@ -465,11 +481,23 @@ Server::handleLine(int fd, const std::string &line)
     std::string error;
     if (!parseRequest(line, req, error)) {
         metrics.counter("serve.bad_requests").add();
+        obs::log::event(obs::log::Level::Warn, "serve",
+                        "rejected request", [&] {
+                            return obs::Args().add("error", error);
+                        });
         // req.id survives any failure past the JSON parse itself, so
         // most rejections still echo the client's correlation id.
         respond(fd, errorResponse(req.id, error));
         return;
     }
+    // Every span and log event from here to the response (and, for
+    // compute ops, through dispatch, the forked worker and harvest)
+    // carries this request id; the merger turns the shared rid into
+    // Perfetto flow events.
+    if (req.rid.empty())
+        req.rid = "d" + std::to_string(::getpid()) + "-" +
+                  std::to_string(++ridCounter_);
+    obs::RequestScope ridScope(req.rid);
     obs::instant("serve.request", "serve", [&] {
         return obs::Args()
             .add("op", opName(req.op))
@@ -482,6 +510,10 @@ Server::handleLine(int fd, const std::string &line)
     }
     if (req.op == Request::Op::Stats) {
         respond(fd, statsResponse(req.id));
+        return;
+    }
+    if (req.op == Request::Op::Metrics) {
+        respond(fd, metricsResponse(req.id));
         return;
     }
     handleCompute(fd, req, line);
@@ -511,6 +543,14 @@ Server::handleCompute(int fd, const Request &req,
         queued += job.started ? 0 : 1;
     if (queued >= opts_.queueMax) {
         metrics.counter("serve.shed").add();
+        obs::log::event(obs::log::Level::Warn, "serve",
+                        "request shed by admission control", [&] {
+                            return obs::Args()
+                                .add("op", opName(req.op))
+                                .add("client", req.client)
+                                .add("queued",
+                                     static_cast<uint64_t>(queued));
+                        });
         const double retry = std::max(
             1.0, static_cast<double>(jobs_.size()) /
                      std::max(1, pool_.options().workers));
@@ -527,9 +567,34 @@ Server::handleCompute(int fd, const Request &req,
     job.resultPath = opts_.stateDir + "/staging/" + key + ".csv";
     job.waiters.emplace_back(fd, req.id);
     job.accepted = Clock::now();
-    journal_.record({key, "accepted", job.seq, line});
+    journalRecord({key, "accepted", job.seq, line});
     metrics.counter("serve.accepted").add();
+    if (Metrics::histogramsEnabled())
+        metrics.histogram("serve.queue_depth").record(queued + 1);
     jobs_.push_back(std::move(job));
+}
+
+/** journal_.record with the §14 instrumentation: a serve.journal
+ *  span on the timeline and a serve.journal_write latency sample —
+ *  fsync latency is the daemon's dominant inline cost. */
+void
+Server::journalRecord(const JournalRecord &rec)
+{
+    const bool timed = obs::enabled() || Metrics::histogramsEnabled();
+    const uint64_t t0 = timed ? obs::detail::nowNs() : 0;
+    journal_.record(rec);
+    if (!timed)
+        return;
+    const uint64_t t1 = obs::detail::nowNs();
+    if (obs::enabled())
+        obs::detail::emitSpan("serve.journal", "serve", t0, t1,
+                              obs::Args()
+                                  .add("key", rec.key)
+                                  .add("state", rec.state)
+                                  .str());
+    if (Metrics::histogramsEnabled())
+        Metrics::global().histogram("serve.journal_write")
+            .record(t1 - t0);
 }
 
 ProcJob
@@ -553,6 +618,10 @@ Server::makeProcJob(Job &job)
         // client would connect into a backlog nobody will ever accept
         // from) or hold client connections half-open.
         closeInheritedFds();
+        // Inherit the request context: every span this worker emits
+        // (pool.job, sim.run, anneal.*) joins the request's flow in
+        // the merged timeline.
+        obs::setRequestContext(req.rid);
         switch (req.op) {
           case Request::Op::Whatif:
             return runWhatif(req, identity, result_path);
@@ -599,7 +668,31 @@ Server::dispatch()
         }
         if (!pick)
             return;
-        journal_.record(
+        obs::RequestScope ridScope(pick->req.rid);
+        // The accepted->dispatched wait is the queue's contribution
+        // to the request's latency: one serve.queue span on the
+        // timeline, one serve.queue_wait histogram sample.
+        const auto now = Clock::now();
+        const uint64_t waitNs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                now - pick->accepted)
+                .count());
+        if (obs::enabled()) {
+            const uint64_t nowNs = static_cast<uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    now.time_since_epoch())
+                    .count());
+            obs::detail::emitSpan("serve.queue", "serve",
+                                  nowNs - waitNs, nowNs,
+                                  obs::Args()
+                                      .add("op", opName(pick->req.op))
+                                      .add("key", pick->key)
+                                      .str());
+        }
+        if (Metrics::histogramsEnabled())
+            Metrics::global().histogram("serve.queue_wait")
+                .record(waitNs);
+        journalRecord(
             {pick->key, "started", pick->seq, pick->requestLine});
         pick->ticket = pool_.submit(makeProcJob(*pick));
         pick->started = true;
@@ -629,9 +722,18 @@ Server::harvest()
         Job job = std::move(jobs_[idx]);
         jobs_.erase(jobs_.begin() + static_cast<long>(idx));
         --started_;
+        obs::RequestScope ridScope(job.req.rid);
 
         if (outcome.status == ProcJobOutcome::Status::Quarantined) {
             metrics.counter("serve.failed").add();
+            obs::log::event(obs::log::Level::Error, "serve",
+                            "job quarantined", [&] {
+                                return obs::Args()
+                                    .add("op", opName(job.req.op))
+                                    .add("key", job.key)
+                                    .add("attempts", outcome.attempts)
+                                    .add("error", outcome.lastError);
+                            });
             journal_.remove(job.key);
             answerWaiters(
                 job, errorResponse(
@@ -656,19 +758,47 @@ Server::harvest()
             // reproduce; the response is marked instead.
             metrics.counter("serve.degraded_responses").add();
         } else {
+            const bool timed =
+                obs::enabled() || Metrics::histogramsEnabled();
+            const uint64_t t0 = timed ? obs::detail::nowNs() : 0;
             store_.publish(job.identity, doc);
+            if (timed) {
+                const uint64_t t1 = obs::detail::nowNs();
+                if (obs::enabled())
+                    obs::detail::emitSpan(
+                        "serve.publish", "serve", t0, t1,
+                        obs::Args().add("key", job.key).str());
+                if (Metrics::histogramsEnabled())
+                    metrics.histogram("serve.publish")
+                        .record(t1 - t0);
+            }
         }
-        journal_.record(
+        journalRecord(
             {job.key, "completed", job.seq, job.requestLine});
         metrics.counter("serve.completed").add();
+        const uint64_t jobNs = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - job.accepted)
+                .count());
         if (Metrics::histogramsEnabled()) {
-            metrics.histogram("serve.job").record(
-                static_cast<uint64_t>(
-                    std::chrono::duration_cast<
-                        std::chrono::nanoseconds>(Clock::now() -
-                                                  job.accepted)
-                        .count()));
+            metrics.histogram("serve.job").record(jobNs);
+            // Per-op SLO latency: accept-to-respond per operation.
+            metrics.histogram(std::string("serve.op.") +
+                              opName(job.req.op))
+                .record(jobNs);
         }
+        obs::log::event(obs::log::Level::Info, "serve",
+                        "job completed", [&] {
+                            return obs::Args()
+                                .add("op", opName(job.req.op))
+                                .add("key", job.key)
+                                .add("ms", static_cast<double>(jobNs) /
+                                               1e6)
+                                .add("degraded", degraded ? 1 : 0)
+                                .add("waiters",
+                                     static_cast<uint64_t>(
+                                         job.waiters.size()));
+                        });
         for (const auto &[fd, id] : job.waiters) {
             if (connected(fd))
                 respond(fd, okResponse(id, doc, false, degraded));
@@ -706,6 +836,7 @@ Server::answerWaiters(Job &job, const std::string &payload)
 void
 Server::respond(int fd, const std::string &payload)
 {
+    obs::ScopedSpan span("serve.respond", "serve");
     XPS_FAULT_POINT("serve.respond");
     const std::string line = payload + "\n";
     size_t off = 0;
@@ -758,6 +889,74 @@ Server::statsResponse(const std::string &id) const
     return out.str();
 }
 
+/**
+ * The `metrics` op: the live registry — counters, timers, and
+ * p50/p95/p99 from the log-scaled histograms — plus queue state, as
+ * one NDJSON-framed line. Same snapshot source as the at-exit
+ * XPS_METRICS_JSON dump, so a scraper and the dump always agree.
+ */
+std::string
+Server::metricsResponse(const std::string &id) const
+{
+    size_t queued = 0;
+    for (const Job &job : jobs_)
+        queued += job.started ? 0 : 1;
+    const Metrics::Snapshot snap = Metrics::global().snapshot();
+    std::ostringstream out;
+    out << "{\"id\":\"" << obs::json::escape(id)
+        << "\",\"status\":\"ok\",\"op\":\"metrics\""
+        << ",\"queued\":" << queued
+        << ",\"running\":" << started_
+        << ",\"workers\":" << pool_.options().workers
+        << ",\"queue_max\":" << opts_.queueMax
+        << ",\"counters\":{";
+    for (size_t i = 0; i < snap.counters.size(); ++i)
+        out << (i ? ",\"" : "\"")
+            << obs::json::escape(snap.counters[i].first)
+            << "\":" << snap.counters[i].second;
+    out << "},\"timers_seconds\":{";
+    char buf[64];
+    for (size_t i = 0; i < snap.timers.size(); ++i) {
+        std::snprintf(buf, sizeof(buf), "%.6f",
+                      snap.timers[i].second);
+        out << (i ? ",\"" : "\"")
+            << obs::json::escape(snap.timers[i].first) << "\":"
+            << buf;
+    }
+    out << "},\"histograms_ns\":{";
+    for (size_t i = 0; i < snap.histograms.size(); ++i) {
+        const Metrics::HistogramSummary &h =
+            snap.histograms[i].second;
+        std::snprintf(buf, sizeof(buf), "%.1f", h.meanNs);
+        out << (i ? ",\"" : "\"")
+            << obs::json::escape(snap.histograms[i].first)
+            << "\":{\"count\":" << h.count << ",\"p50\":" << h.p50Ns
+            << ",\"p95\":" << h.p95Ns << ",\"p99\":" << h.p99Ns
+            << ",\"max\":" << h.maxNs << ",\"mean\":" << buf << '}';
+    }
+    out << "}}";
+    return out.str();
+}
+
+/** Write the Prometheus snapshot to <stateDir>/metrics.prom on the
+ *  XPS_METRICS_EXPORT_S cadence (atomically — a scraper mid-read
+ *  never sees a torn file). `force` flushes regardless of cadence
+ *  (boot and drain). */
+void
+Server::maybeExportMetrics(bool force)
+{
+    if (opts_.metricsExportS <= 0)
+        return;
+    const auto now = Clock::now();
+    if (!force &&
+        std::chrono::duration<double>(now - lastMetricsExport_)
+                .count() < opts_.metricsExportS)
+        return;
+    lastMetricsExport_ = now;
+    Metrics::global().writePrometheus(opts_.stateDir +
+                                      "/metrics.prom");
+}
+
 int
 Server::drain()
 {
@@ -793,7 +992,9 @@ Server::drain()
     for (const Connection &c : conns_)
         ::close(c.fd);
     conns_.clear();
+    maybeExportMetrics(true); // final snapshot for the scraper
     obs::flushTrace();
+    obs::log::flushLog();
     inform("xps-serve: drained; exiting gracefully");
     return kGracefulExitCode;
 }

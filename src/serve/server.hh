@@ -77,6 +77,11 @@ struct ServerOptions
      *  daemon's re-run resumes instead of restarting
      *  (XPS_SERVE_CKPT_EVERY; 0 disables). */
     uint64_t checkpointEvery = 8;
+    /** Cadence in seconds for writing a Prometheus text-exposition
+     *  snapshot to <stateDir>/metrics.prom (XPS_METRICS_EXPORT_S;
+     *  0 disables). Written atomically (tmp + rename), so a scraper
+     *  never reads a torn file. */
+    double metricsExportS = 0.0;
 
     static ServerOptions fromEnv();
 };
@@ -146,6 +151,9 @@ class Server
     bool connected(int fd) const;
     void answerWaiters(Job &job, const std::string &payload);
     std::string statsResponse(const std::string &id) const;
+    std::string metricsResponse(const std::string &id) const;
+    void journalRecord(const JournalRecord &rec);
+    void maybeExportMetrics(bool force);
     ProcJob makeProcJob(Job &job);
     int drain();
 
@@ -160,6 +168,9 @@ class Server
     /** Fair share: when each client was last served (by seq). */
     std::map<std::string, uint64_t> lastServed_;
     bool booted_ = false;
+    /** Daemon-minted request ids for clients that sent none. */
+    uint64_t ridCounter_ = 0;
+    Clock::time_point lastMetricsExport_{};
 };
 
 } // namespace serve

@@ -71,6 +71,25 @@
  *   XPS_TRACE_BUFFER_KB  per-process buffered trace bytes before a
  *                        shard flush (default 64); the buffer also
  *                        drains on a ~250 ms cadence
+ *   XPS_TRACE_MERGE      0 = shard-only mode: flush at exit but never
+ *                        merge — for processes (xps-client, forked
+ *                        workers) joining a trace whose merge a
+ *                        longer-lived daemon owns (default 1)
+ *   XPS_LOG_JSON         when set, arm structured JSON logging
+ *                        (obs/log.hh) and merge every process's log
+ *                        shard into one ts-sorted JSONL stream at
+ *                        this path at exit
+ *   XPS_LOG_LEVEL        debug|info|warn|error floor for structured
+ *                        log events (default info)
+ *   XPS_LOG_RATE         max structured log events per (component,
+ *                        level) per second; excess is counted and
+ *                        summarized (default 200, 0 = unlimited)
+ *   XPS_LOG_MERGE        0 = shard-only mode, mirroring
+ *                        XPS_TRACE_MERGE (default 1)
+ *   XPS_METRICS_EXPORT_S cadence in seconds (double; fractions ok)
+ *                        for the serve daemon's atomic Prometheus
+ *                        text-exposition snapshot at
+ *                        <state-dir>/metrics.prom (default 0 = off)
  *
  * Malformed numeric values (garbage, overflow, and negatives where a
  * count is expected) warn once and fall back to the documented

@@ -4,11 +4,37 @@
 #include <cstring>
 #include <mutex>
 
+#include "obs/log.hh"
+
 namespace xps
 {
 
 namespace
 {
+
+/** Bridge a stderr message kind into the structured log stream
+ *  (component "log"); no-op when XPS_LOG_JSON is off. The guard
+ *  breaks any warn()-from-inside-the-logger recursion. */
+void
+bridge(const char *kind, const std::string &msg)
+{
+    if (!obs::log::enabled())
+        return;
+    thread_local bool inBridge = false;
+    if (inBridge)
+        return;
+    inBridge = true;
+    obs::log::Level level = obs::log::Level::Info;
+    if (!std::strcmp(kind, "verb"))
+        level = obs::log::Level::Debug;
+    else if (!std::strcmp(kind, "warn"))
+        level = obs::log::Level::Warn;
+    else if (!std::strcmp(kind, "fatal") ||
+             !std::strcmp(kind, "panic"))
+        level = obs::log::Level::Error;
+    obs::log::event(level, "log", msg);
+    inBridge = false;
+}
 
 LogLevel g_level = [] {
     const char *env = std::getenv("XPS_LOG");
@@ -61,6 +87,10 @@ format(const char *fmt, ...)
 void
 emit(const char *kind, LogLevel min_level, const std::string &msg)
 {
+    // The structured stream applies its own XPS_LOG_LEVEL floor, so
+    // it sees the event even when the stderr gate below suppresses
+    // it (a quiet console still yields a complete JSON log).
+    bridge(kind, msg);
     if (static_cast<int>(g_level) < static_cast<int>(min_level))
         return;
     std::lock_guard<std::mutex> lock(g_mutex);
@@ -70,6 +100,8 @@ emit(const char *kind, LogLevel min_level, const std::string &msg)
 void
 die(const char *kind, const std::string &msg)
 {
+    bridge(kind, msg);
+    obs::log::flushLog();
     {
         std::lock_guard<std::mutex> lock(g_mutex);
         std::fprintf(stderr, "[%s] %s\n", kind, msg.c_str());

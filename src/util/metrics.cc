@@ -1,9 +1,11 @@
 #include "util/metrics.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdlib>
 #include <sstream>
 
+#include "obs/json.hh"
 #include "util/atomic_file.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
@@ -156,6 +158,7 @@ Metrics::snapshot() const
         summary.count = histogram.count();
         summary.p50Ns = histogram.quantileNs(0.50);
         summary.p95Ns = histogram.quantileNs(0.95);
+        summary.p99Ns = histogram.quantileNs(0.99);
         summary.maxNs = histogram.maxNs();
         summary.meanNs = histogram.meanNs();
         snap.histograms.emplace_back(name, summary);
@@ -191,7 +194,8 @@ Metrics::toJson() const
             out << (i ? ",\n    " : "\n    ") << '"'
                 << snap.histograms[i].first << "\": {\"count\": "
                 << h.count << ", \"p50\": " << h.p50Ns
-                << ", \"p95\": " << h.p95Ns << ", \"max\": " << h.maxNs
+                << ", \"p95\": " << h.p95Ns << ", \"p99\": " << h.p99Ns
+                << ", \"max\": " << h.maxNs
                 << ", \"mean\": " << buf << '}';
         }
         out << "\n  }";
@@ -217,6 +221,150 @@ void
 Metrics::writeJson(const std::string &path) const
 {
     atomicWriteFile(path, toJson());
+}
+
+std::string
+Metrics::serializeRollup() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::ostringstream out;
+    out << "{\"counters\":{";
+    bool first = true;
+    for (const auto &[name, counter] : counters_) {
+        const uint64_t v = counter.get();
+        if (v == 0)
+            continue;
+        out << (first ? "" : ",") << '"' << obs::json::escape(name)
+            << "\":" << v;
+        first = false;
+    }
+    out << "},\"timers\":{";
+    first = true;
+    char buf[64];
+    for (const auto &[name, seconds] : timers_) {
+        std::snprintf(buf, sizeof(buf), "%.9f", seconds);
+        out << (first ? "" : ",") << '"' << obs::json::escape(name)
+            << "\":" << buf;
+        first = false;
+    }
+    out << "},\"histograms\":{";
+    first = true;
+    for (const auto &[name, h] : histograms_) {
+        if (h.count() == 0)
+            continue;
+        out << (first ? "" : ",") << '"' << obs::json::escape(name)
+            << "\":{\"sum\":" << h.sumNs() << ",\"max\":" << h.maxNs()
+            << ",\"buckets\":{";
+        bool firstBucket = true;
+        for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+            const uint64_t n = h.bucketCount(i);
+            if (n == 0)
+                continue;
+            out << (firstBucket ? "" : ",") << '"' << i << "\":" << n;
+            firstBucket = false;
+        }
+        out << "}}";
+        first = false;
+    }
+    out << "}}";
+    return out.str();
+}
+
+bool
+Metrics::mergeRollup(const std::string &payload)
+{
+    obs::json::Value root;
+    if (!obs::json::parse(payload, root) || !root.isObject())
+        return false;
+    const obs::json::Value *counters = root.find("counters");
+    const obs::json::Value *timers = root.find("timers");
+    const obs::json::Value *histograms = root.find("histograms");
+    if (counters && counters->isObject()) {
+        for (const auto &[name, v] : counters->fields)
+            if (v.type == obs::json::Value::Type::Number &&
+                v.number > 0)
+                counter(name).add(static_cast<uint64_t>(v.number));
+    }
+    if (timers && timers->isObject()) {
+        for (const auto &[name, v] : timers->fields)
+            if (v.type == obs::json::Value::Type::Number)
+                addSeconds(name, v.number);
+    }
+    if (histograms && histograms->isObject()) {
+        for (const auto &[name, v] : histograms->fields) {
+            if (!v.isObject())
+                continue;
+            Histogram &h = histogram(name);
+            h.absorbSum(static_cast<uint64_t>(v.numberOr("sum", 0)));
+            h.noteMax(static_cast<uint64_t>(v.numberOr("max", 0)));
+            const obs::json::Value *buckets = v.find("buckets");
+            if (buckets && buckets->isObject())
+                for (const auto &[idx, n] : buckets->fields)
+                    if (n.type == obs::json::Value::Type::Number &&
+                        n.number > 0)
+                        h.absorbBucket(
+                            static_cast<size_t>(
+                                std::strtoull(idx.c_str(), nullptr,
+                                              10)),
+                            static_cast<uint64_t>(n.number));
+        }
+    }
+    return true;
+}
+
+namespace
+{
+
+/** A metric name as a Prometheus-legal identifier. */
+std::string
+promName(const std::string &name)
+{
+    std::string out = "xps_";
+    for (char c : name)
+        out += (std::isalnum(static_cast<unsigned char>(c)) != 0)
+                   ? c
+                   : '_';
+    return out;
+}
+
+} // namespace
+
+std::string
+Metrics::toPrometheus() const
+{
+    const Snapshot snap = snapshot();
+    std::ostringstream out;
+    for (const auto &[name, value] : snap.counters) {
+        const std::string p = promName(name) + "_total";
+        out << "# TYPE " << p << " counter\n"
+            << p << ' ' << value << '\n';
+    }
+    char buf[64];
+    for (const auto &[name, seconds] : snap.timers) {
+        const std::string p = promName(name) + "_seconds_total";
+        std::snprintf(buf, sizeof(buf), "%.6f", seconds);
+        out << "# TYPE " << p << " counter\n"
+            << p << ' ' << buf << '\n';
+    }
+    for (const auto &[name, h] : snap.histograms) {
+        const std::string p = promName(name) + "_ns";
+        out << "# TYPE " << p << " summary\n"
+            << p << "{quantile=\"0.5\"} " << h.p50Ns << '\n'
+            << p << "{quantile=\"0.95\"} " << h.p95Ns << '\n'
+            << p << "{quantile=\"0.99\"} " << h.p99Ns << '\n'
+            << p << "_sum "
+            << static_cast<uint64_t>(h.meanNs *
+                                     static_cast<double>(h.count))
+            << '\n'
+            << p << "_count " << h.count << '\n';
+    }
+    return out.str();
+}
+
+void
+Metrics::writePrometheus(const std::string &path) const
+{
+    atomicWriteFile(path, toPrometheus());
 }
 
 } // namespace xps

@@ -108,6 +108,49 @@ class Histogram
         return max_.load(std::memory_order_relaxed);
     }
 
+    /** Total of every recorded duration in nanoseconds. */
+    uint64_t
+    sumNs() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    /** Samples in bucket `index` (rollup serialization). */
+    uint64_t
+    bucketCount(size_t index) const
+    {
+        return buckets_[index].load(std::memory_order_relaxed);
+    }
+
+    /** Fold `n` pre-bucketed samples into bucket `index` — the
+     *  worker-rollup merge path (DESIGN.md §14). Updates the sample
+     *  count; pair with absorbSum()/noteMax() for the totals. */
+    void
+    absorbBucket(size_t index, uint64_t n)
+    {
+        buckets_[index % kBuckets].fetch_add(
+            n, std::memory_order_relaxed);
+        count_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /** Add another histogram's duration total (rollup merge). */
+    void
+    absorbSum(uint64_t ns)
+    {
+        sum_.fetch_add(ns, std::memory_order_relaxed);
+    }
+
+    /** Raise the max watermark to at least `ns` (rollup merge). */
+    void
+    noteMax(uint64_t ns)
+    {
+        uint64_t seen = max_.load(std::memory_order_relaxed);
+        while (ns > seen &&
+               !max_.compare_exchange_weak(
+                   seen, ns, std::memory_order_relaxed))
+            ;
+    }
+
     /** Mean in nanoseconds (0 when empty). */
     double meanNs() const;
 
@@ -178,6 +221,7 @@ class Metrics
         uint64_t count = 0;
         uint64_t p50Ns = 0;
         uint64_t p95Ns = 0;
+        uint64_t p99Ns = 0;
         uint64_t maxNs = 0;
         double meanNs = 0.0;
     };
@@ -202,6 +246,34 @@ class Metrics
 
     /** Atomically write toJson() to `path`. */
     void writeJson(const std::string &path) const;
+
+    /**
+     * Serialize the registry — counters, timers and full histogram
+     * bucket tables — as one line of JSON, for shipping a forked
+     * worker's delta to its parent over the result pipe (DESIGN.md
+     * §14). Complement of mergeRollup().
+     */
+    std::string serializeRollup() const;
+
+    /**
+     * Fold a serializeRollup() payload into this registry: counters
+     * and timers add, histogram buckets merge bucket-wise, maxima
+     * combine. False (registry untouched beyond already-merged
+     * entries) on a malformed payload.
+     */
+    bool mergeRollup(const std::string &payload);
+
+    /**
+     * Render the registry in Prometheus text exposition format 0.0.4:
+     * counters as `xps_<name>_total`, timers as
+     * `xps_<name>_seconds_total`, histograms as summaries with
+     * quantile="0.5|0.95|0.99" series plus `_sum` / `_count`. Names
+     * are sanitized (non-alphanumerics become '_').
+     */
+    std::string toPrometheus() const;
+
+    /** Atomically write toPrometheus() to `path` (tmp + rename). */
+    void writePrometheus(const std::string &path) const;
 
   private:
     mutable std::mutex mutex_;

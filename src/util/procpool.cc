@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/log.hh"
 #include "obs/tracer.hh"
 #include "util/env.hh"
 #include "util/fault.hh"
@@ -56,6 +57,39 @@ monoNs(Clock::time_point t)
 int g_beat_fd = -1;
 Clock::time_point g_last_beat;
 double g_beat_interval = 0.05;
+
+/** Frames the metrics-rollup payload on the heartbeat pipe. '\x01'
+ *  can appear in no beat byte and no JSON payload, so the parent can
+ *  find the frame with one reverse search. */
+constexpr char kRollupMarker[] = "\x01XPSROLLUP\x01";
+
+/** Child side, right before _exit: ship this worker's metrics delta
+ *  to the supervisor. The write end is switched to blocking — the
+ *  payload must arrive whole, and the parent drains the pipe every
+ *  poll() so the write cannot stall. */
+void
+writeRollup()
+{
+    if (g_beat_fd < 0)
+        return;
+    const std::string payload = std::string(kRollupMarker) +
+                                Metrics::global().serializeRollup() +
+                                "\n";
+    const int fl = ::fcntl(g_beat_fd, F_GETFL);
+    if (fl >= 0)
+        ::fcntl(g_beat_fd, F_SETFL, fl & ~O_NONBLOCK);
+    size_t off = 0;
+    while (off < payload.size()) {
+        const ssize_t n = ::write(g_beat_fd, payload.data() + off,
+                                  payload.size() - off);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break; // supervisor gone; nothing left to report to
+        }
+        off += static_cast<size_t>(n);
+    }
+}
 
 uint64_t
 mix64(uint64_t x)
@@ -219,6 +253,10 @@ ProcPool::spawn(uint64_t ticket)
         g_beat_interval = opts_.heartbeatTimeoutSeconds > 0
                               ? opts_.heartbeatTimeoutSeconds / 8.0
                               : 0.05;
+        // The inherited registry holds the parent's lifetime totals;
+        // zero it so the rollup shipped at _exit is purely this
+        // worker's own work (no double counting at the merge).
+        Metrics::global().reset();
         XPS_FAULT_POINT("worker.start");
         obs::setProcessName("worker:" + job.name);
         int rc = 125;
@@ -232,9 +270,12 @@ ProcPool::spawn(uint64_t ticket)
                 rc = 125;
             }
         }
-        // _exit skips atexit handlers; push this worker's spans
-        // to its shard explicitly or they die with the process.
+        // _exit skips atexit handlers; push this worker's spans,
+        // log events and metrics delta out explicitly or they die
+        // with the process.
         obs::flushTrace();
+        obs::log::flushLog();
+        writeRollup();
         ::_exit(rc & 0xff);
     }
     ::close(pipe_fds[1]);
@@ -245,7 +286,7 @@ ProcPool::spawn(uint64_t ticket)
             .add("attempt", outcomes_.at(ticket).attempts + 1);
     });
     const auto now = Clock::now();
-    active_.push_back({ticket, pid, pipe_fds[0], now, now});
+    active_.push_back({ticket, pid, pipe_fds[0], now, now, {}});
 }
 
 // Record one finished attempt: timing + exit detail for the
@@ -279,12 +320,43 @@ ProcPool::recordAttempt(const Active &a, Clock::time_point end,
     o.attemptLog.push_back(std::move(attempt));
 }
 
+/**
+ * Drain what the reaped worker left in its pipe and fold a complete
+ * rollup frame into the parent registry. A frame without its trailing
+ * newline is the torn tail of a dying worker: counted
+ * (pool.rollups_torn), never merged partially.
+ */
+void
+ProcPool::harvestRollup(Active &a)
+{
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::read(a.pipeRd, buf, sizeof(buf))) > 0)
+        a.pipeBuf.append(buf, static_cast<size_t>(n));
+    const size_t at = a.pipeBuf.rfind(kRollupMarker);
+    if (at == std::string::npos)
+        return; // killed before the frame: nothing was shipped
+    std::string payload =
+        a.pipeBuf.substr(at + sizeof(kRollupMarker) - 1);
+    Metrics &metrics = Metrics::global();
+    if (payload.empty() || payload.back() != '\n') {
+        metrics.counter("pool.rollups_torn").add();
+        return;
+    }
+    payload.pop_back();
+    if (metrics.mergeRollup(payload))
+        metrics.counter("pool.rollups_merged").add();
+    else
+        metrics.counter("pool.rollups_torn").add();
+}
+
 // Reap one active slot whose child exited on its own.
 void
 ProcPool::handleExit(size_t slot, int status)
 {
-    const Active a = active_[slot];
+    Active a = active_[slot];
     active_.erase(active_.begin() + static_cast<long>(slot));
+    harvestRollup(a);
     ::close(a.pipeRd);
     ProcJobOutcome &o = outcomes_.at(a.ticket);
     o.attempts += 1;
@@ -352,8 +424,19 @@ ProcPool::poll(int timeoutMs)
             if (!(fds[i].revents & POLLIN))
                 continue;
             char buf[256];
-            while (::read(active_[i].pipeRd, buf, sizeof(buf)) > 0) {
-            }
+            ssize_t n;
+            while ((n = ::read(active_[i].pipeRd, buf,
+                               sizeof(buf))) > 0)
+                active_[i].pipeBuf.append(
+                    buf, static_cast<size_t>(n));
+            // Pure beat traffic is discarded as it arrives — only a
+            // (possibly partial) rollup frame is worth keeping, so a
+            // long-lived worker cannot grow the buffer.
+            const size_t frame = active_[i].pipeBuf.find('\x01');
+            if (frame == std::string::npos)
+                active_[i].pipeBuf.clear();
+            else if (frame > 0)
+                active_[i].pipeBuf.erase(0, frame);
             active_[i].lastBeat = t;
         }
     } else if (timeoutMs > 0) {
@@ -381,7 +464,7 @@ ProcPool::poll(int timeoutMs)
             ++i;
             continue;
         }
-        const Active a = active_[i];
+        Active a = active_[i];
         active_.erase(active_.begin() + static_cast<long>(i));
         obs::instant("pool.kill", "pool", [&] {
             return obs::Args()
@@ -391,6 +474,7 @@ ProcPool::poll(int timeoutMs)
         });
         ::kill(a.pid, SIGKILL);
         ::waitpid(a.pid, &status, 0);
+        harvestRollup(a); // a torn frame still counts
         ::close(a.pipeRd);
         outcomes_.at(a.ticket).attempts += 1;
         recordAttempt(a, t, hung ? "hang" : "deadline", -1, SIGKILL);

@@ -31,6 +31,15 @@
  * supervisor.job_retries, supervisor.jobs_quarantined, and
  * supervisor.backoff_seconds land in XPS_METRICS_JSON /
  * BENCH_results.json via util/metrics.
+ *
+ * Worker metrics rollup (DESIGN.md §14): a forked worker's own
+ * counters and latency histograms (sim.run, anneal.step, ...) would
+ * die with its address space. Instead the child zeroes its inherited
+ * registry right after fork and, before _exit, ships the delta as a
+ * marker-framed JSON line over the heartbeat pipe; the supervisor
+ * folds it into the parent registry bucket-wise at reap
+ * (pool.rollups_merged / pool.rollups_torn), so the daemon's metrics
+ * op and the final XPS_METRICS_JSON dump include worker-side work.
  */
 
 #ifndef XPS_UTIL_PROCPOOL_HH
@@ -187,6 +196,9 @@ class ProcPool
         int pipeRd;
         Clock::time_point start;
         Clock::time_point lastBeat;
+        /** Bytes read off the heartbeat pipe: beats, then (on a clean
+         *  worker exit) the marker-framed metrics rollup payload. */
+        std::string pipeBuf;
     };
     struct Pending
     {
@@ -195,6 +207,7 @@ class ProcPool
     };
 
     void spawn(uint64_t ticket);
+    void harvestRollup(Active &a);
     void failAttempt(uint64_t ticket, bool hang, const std::string &why);
     void recordAttempt(const Active &a, Clock::time_point end,
                        std::string outcome, int exitCode, int sig);

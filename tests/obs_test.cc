@@ -24,6 +24,7 @@
 
 #include "explore/explorer.hh"
 #include "obs/json.hh"
+#include "obs/log.hh"
 #include "obs/report.hh"
 #include "obs/tracer.hh"
 #include "util/atomic_file.hh"
@@ -515,6 +516,50 @@ TEST(Report, RendersSyntheticRun)
     std::filesystem::remove_all(dir);
 }
 
+TEST(Report, ServeSectionRendersDaemonHealth)
+{
+    const std::string dir = freshDir("serve_report");
+    writeRaw(dir + "/metrics.json", R"({
+  "counters": {
+    "serve.requests": 40, "serve.completed": 30, "serve.failed": 2,
+    "serve.shed": 8, "serve.coalesced": 3, "serve.cache_hits": 6,
+    "serve.cache_misses": 24, "serve.recovered": 1,
+    "pool.rollups_merged": 30, "pool.rollups_torn": 1
+  },
+  "histograms_ns": {
+    "serve.job": {"count": 30, "p50": 2000000, "p95": 9000000,
+                  "p99": 20000000, "max": 30000000, "mean": 3000000.0},
+    "serve.queue_wait": {"count": 30, "p50": 100000, "p95": 500000,
+                         "p99": 900000, "max": 1000000, "mean": 150000.0},
+    "sim.run": {"count": 900, "p50": 10000, "p95": 40000,
+                "p99": 80000, "max": 100000, "mean": 15000.0}
+  }
+})");
+    writeRaw(dir + "/serve/metrics.prom", "xps_serve_requests_total 40\n");
+    const obs::ReportPaths paths = obs::resolveReportPaths(dir);
+    EXPECT_EQ(paths.prometheus, dir + "/serve/metrics.prom");
+    const std::string report = obs::renderReport(paths);
+    EXPECT_NE(report.find("Serve"), std::string::npos) << report;
+    EXPECT_NE(report.find("20.0% shed"), std::string::npos) << report;
+    EXPECT_NE(report.find("20.0% hit ratio"), std::string::npos);
+    EXPECT_NE(report.find("SLO percentiles"), std::string::npos);
+    EXPECT_NE(report.find("serve.queue_wait"), std::string::npos);
+    EXPECT_NE(report.find("20.0ms"), std::string::npos); // serve.job p99
+    EXPECT_NE(report.find("30 merged / 1 torn"), std::string::npos);
+    // sim.run is not a serve.* histogram: general table only.
+    const size_t slo = report.find("SLO percentiles");
+    EXPECT_EQ(report.find("sim.run", slo), std::string::npos);
+    // Without serve counters the section is skipped unless forced.
+    writeRaw(dir + "/metrics.json", R"({"counters": {"x": 1}})");
+    obs::ReportPaths quiet = obs::resolveReportPaths(dir);
+    EXPECT_EQ(obs::renderReport(quiet).find("Serve"),
+              std::string::npos);
+    quiet.serve = true;
+    EXPECT_NE(obs::renderReport(quiet).find("Serve"),
+              std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
 TEST(Report, MissingArtifactsDegradeGracefully)
 {
     const std::string dir = freshDir("empty");
@@ -524,6 +569,375 @@ TEST(Report, MissingArtifactsDegradeGracefully)
     EXPECT_NE(report.find("no trace.json found"), std::string::npos);
     EXPECT_NE(report.find("no supervisor report"), std::string::npos);
     EXPECT_NE(report.find("Checkpoints: none"), std::string::npos);
+    std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------------- structured log
+
+namespace
+{
+
+/** Parsed events of a merged JSONL log stream. */
+std::vector<obs::json::Value>
+loadMergedLog(const std::string &path)
+{
+    std::string content;
+    EXPECT_TRUE(readFile(path, content)) << path;
+    std::vector<obs::json::Value> events;
+    std::istringstream lines(content);
+    std::string line;
+    while (std::getline(lines, line)) {
+        obs::json::Value v;
+        EXPECT_TRUE(obs::json::parse(line, v)) << line;
+        events.push_back(std::move(v));
+    }
+    return events;
+}
+
+std::string
+logLine(const char *msg, double tsUs, int pid)
+{
+    char buf[192];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ts\":%.3f,\"level\":\"info\",\"component\":"
+                  "\"t\",\"msg\":\"%s\",\"pid\":%d,\"tid\":1}\n",
+                  tsUs, msg, pid);
+    return buf;
+}
+
+} // namespace
+
+TEST(ObsLog, MergeIsDeterministicAndSchemaComplete)
+{
+    const std::string dir = freshDir("log_det");
+    auto runOnce = [&](const std::string &path) {
+        g_fake_now = 0;
+        obs::setClockForTest(&fakeClock);
+        obs::log::configureLogging(path, obs::log::Level::Debug);
+        obs::log::event(obs::log::Level::Debug, "serve", "queued");
+        {
+            obs::RequestScope rid("r-77");
+            obs::log::event(obs::log::Level::Info, "serve",
+                            "job completed", [] {
+                                return obs::Args()
+                                    .add("op", "explore")
+                                    .add("ms", 12.5);
+                            });
+        }
+        obs::log::event(obs::log::Level::Error, "pool", "worker died");
+        const obs::log::LogMergeStats stats = obs::log::mergeLog();
+        obs::log::disableLogging();
+        obs::setClockForTest(nullptr);
+        EXPECT_EQ(stats.shards, 1u);
+        EXPECT_EQ(stats.lines, 3u);
+        EXPECT_EQ(stats.tornLines, 0u);
+        std::string merged;
+        EXPECT_TRUE(readFile(path, merged));
+        return merged;
+    };
+    const std::string first = runOnce(dir + "/a.jsonl");
+    const std::string second = runOnce(dir + "/b.jsonl");
+    EXPECT_EQ(first, second); // fixed clock => byte-identical stream
+
+    const std::vector<obs::json::Value> events =
+        loadMergedLog(dir + "/a.jsonl");
+    ASSERT_EQ(events.size(), 3u);
+    double prev = 0.0;
+    for (const auto &ev : events) {
+        EXPECT_GE(ev.numberOr("ts", -1), prev); // ts-sorted
+        prev = ev.numberOr("ts", -1);
+        EXPECT_FALSE(ev.stringOr("level", "").empty());
+        EXPECT_FALSE(ev.stringOr("msg", "").empty());
+        EXPECT_EQ(static_cast<int>(ev.numberOr("pid", 0)),
+                  static_cast<int>(::getpid()));
+    }
+    // The rid-scoped event carries the rid and its lazy fields; its
+    // neighbours carry neither.
+    EXPECT_EQ(events[0].find("rid"), nullptr);
+    EXPECT_EQ(events[1].stringOr("rid", ""), "r-77");
+    ASSERT_NE(events[1].find("fields"), nullptr);
+    EXPECT_EQ(events[1].find("fields")->stringOr("op", ""), "explore");
+    EXPECT_EQ(events[2].stringOr("level", ""), "error");
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ObsLog, EmbeddedNewlinesAndUtf8RoundTrip)
+{
+    const std::string dir = freshDir("log_nl");
+    const std::string path = dir + "/log.jsonl";
+    const std::string nasty = "line1\nline2\ttab \"quoted\"";
+    const std::string utf8 = "λ≈∞ → done";
+    obs::log::configureLogging(path);
+    obs::log::event(obs::log::Level::Info, "test", nasty);
+    obs::log::event(obs::log::Level::Info, "test", utf8, [&] {
+        return obs::Args().add("detail", nasty);
+    });
+    const obs::log::LogMergeStats stats = obs::log::mergeLog();
+    obs::log::disableLogging();
+    // The embedded newline must stay escaped inside one JSONL line,
+    // never splitting an event across physical lines.
+    EXPECT_EQ(stats.lines, 2u);
+    EXPECT_EQ(stats.tornLines, 0u);
+    const std::vector<obs::json::Value> events = loadMergedLog(path);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].stringOr("msg", ""), nasty);
+    EXPECT_EQ(events[1].stringOr("msg", ""), utf8);
+    ASSERT_NE(events[1].find("fields"), nullptr);
+    EXPECT_EQ(events[1].find("fields")->stringOr("detail", ""), nasty);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ObsLog, TornFinalLineCountedAndSkipped)
+{
+    const std::string dir = freshDir("log_torn");
+    const std::string path = dir + "/log.jsonl";
+    // A shard whose writer was killed mid-line keeps its complete
+    // prefix; a shard with nothing valid is skipped whole.
+    writeRaw(path + ".shards/log.300.jsonl",
+             logLine("ok1", 1.0, 300) + logLine("ok2", 2.0, 300) +
+                 "{\"ts\":3.0,\"level\":\"info\",\"msg\":\"torn-mid");
+    writeRaw(path + ".shards/log.400.jsonl", "complete garbage\n");
+    const uint64_t torn0 =
+        Metrics::global().counter("log.lines_torn").get();
+    obs::log::configureLogging(path);
+    const obs::log::LogMergeStats stats = obs::log::mergeLog();
+    obs::log::disableLogging();
+    EXPECT_EQ(stats.shards, 1u);
+    EXPECT_EQ(stats.lines, 2u);
+    EXPECT_EQ(stats.tornLines, 2u);
+    EXPECT_EQ(stats.tornShards, 1u);
+    EXPECT_EQ(Metrics::global().counter("log.lines_torn").get() - torn0,
+              2u);
+    const std::vector<obs::json::Value> events = loadMergedLog(path);
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(events[0].stringOr("msg", ""), "ok1");
+    EXPECT_EQ(events[1].stringOr("msg", ""), "ok2");
+    EXPECT_FALSE(std::filesystem::exists(path + ".shards"));
+    std::filesystem::remove_all(dir);
+}
+
+TEST(ObsLog, RateLimitSuppressesAndSummarizes)
+{
+    const std::string dir = freshDir("log_rate");
+    const std::string path = dir + "/log.jsonl";
+    g_fake_now = 0;
+    obs::setClockForTest(&fakeClock);
+    const uint64_t sup0 =
+        Metrics::global().counter("log.suppressed").get();
+    obs::log::configureLogging(path, obs::log::Level::Info, 5);
+    for (int i = 0; i < 20; ++i)
+        obs::log::event(obs::log::Level::Info, "spammy", "spam");
+    EXPECT_EQ(Metrics::global().counter("log.suppressed").get() - sup0,
+              15u);
+    // Rolling past the one-second window emits one summary event in
+    // place of the suppressed ones.
+    g_fake_now += 2000ull * 1000 * 1000;
+    obs::log::event(obs::log::Level::Info, "spammy", "after-window");
+    const obs::log::LogMergeStats stats = obs::log::mergeLog();
+    obs::log::disableLogging();
+    obs::setClockForTest(nullptr);
+    EXPECT_EQ(stats.lines, 7u); // 5 kept + 1 summary + 1 fresh
+    size_t spam = 0, summaries = 0;
+    for (const auto &ev : loadMergedLog(path)) {
+        const std::string msg = ev.stringOr("msg", "");
+        if (msg == "spam")
+            ++spam;
+        if (msg.find("suppressed 15 event(s)") != std::string::npos) {
+            ++summaries;
+            EXPECT_EQ(ev.stringOr("level", ""), "warn");
+        }
+    }
+    EXPECT_EQ(spam, 5u);
+    EXPECT_EQ(summaries, 1u);
+    std::filesystem::remove_all(dir);
+}
+
+// ----------------------------------------------- tracer: drops + flows
+
+TEST(Tracer, DroppedSpansCountedWhenShardUnwritable)
+{
+    const std::string dir = freshDir("drop");
+    // The shard directory path collides with a regular file, so the
+    // shard can never open: events must be counted, never lost
+    // silently, and the process must carry on.
+    writeRaw(dir + "/blocker", "not a directory");
+    const uint64_t dropped0 =
+        Metrics::global().counter("trace.dropped_spans").get();
+    obs::configureTracing(dir + "/blocker/trace.json");
+    obs::instant("doomed", "test");
+    obs::flushTrace();
+    obs::instant("doomed2", "test");
+    obs::disableTracing();
+    EXPECT_GE(Metrics::global().counter("trace.dropped_spans").get() -
+                  dropped0,
+              2u);
+    std::filesystem::remove_all(dir);
+}
+
+TEST(Tracer, FlowEventsLinkRidStampedSpansAcrossPids)
+{
+    const std::string dir = freshDir("flow");
+    const std::string path = dir + "/trace.json";
+    auto ridSpan = [](const char *name, const char *cat, double tsUs,
+                      double durUs, int pid, const char *rid) {
+        char buf[224];
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\","
+            "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%d,\"tid\":1,"
+            "\"rid\":\"%s\"}\n",
+            name, cat, tsUs, durUs, pid, rid);
+        return std::string(buf);
+    };
+    // client (mid 2) -> daemon (mid 5) -> worker (mid 6), one rid;
+    // an unrelated un-stamped span must not join the flow.
+    writeRaw(path + ".shards/shard.100.jsonl",
+             ridSpan("client.request", "client", 1.0, 2.0, 100,
+                     "r-42"));
+    writeRaw(path + ".shards/shard.200.jsonl",
+             ridSpan("serve.job", "serve", 3.0, 4.0, 200, "r-42") +
+                 shardLine("bystander", 0.5, 200));
+    writeRaw(path + ".shards/shard.300.jsonl",
+             ridSpan("pool.job", "pool", 5.0, 2.0, 300, "r-42"));
+    obs::configureTracing(path);
+    const obs::MergeStats stats = obs::mergeTrace();
+    obs::disableTracing();
+    EXPECT_EQ(stats.shards, 3u);
+    EXPECT_EQ(stats.flowEvents, 3u);
+    EXPECT_EQ(stats.events, 7u); // 4 originals + s/t/f
+
+    std::vector<obs::json::Value> flows;
+    std::set<std::string> ids;
+    for (const auto &ev : loadMergedEvents(path)) {
+        if (ev.stringOr("cat", "") != "flow")
+            continue;
+        flows.push_back(ev);
+        ids.insert(ev.stringOr("id", ""));
+        EXPECT_EQ(ev.stringOr("name", ""), "request");
+        ASSERT_NE(ev.find("args"), nullptr);
+        EXPECT_EQ(ev.find("args")->stringOr("rid", ""), "r-42");
+    }
+    ASSERT_EQ(flows.size(), 3u);
+    EXPECT_EQ(ids.size(), 1u); // one flow id binds the whole chain
+    EXPECT_EQ((*ids.begin()).rfind("0x", 0), 0u);
+    // Start at the client, step at the daemon, finish (binding
+    // enclosing, so the arrow lands inside the worker slice) at the
+    // worker — ordered by span midpoint.
+    EXPECT_EQ(flows[0].stringOr("ph", ""), "s");
+    EXPECT_EQ(static_cast<int>(flows[0].numberOr("pid", 0)), 100);
+    EXPECT_EQ(flows[1].stringOr("ph", ""), "t");
+    EXPECT_EQ(static_cast<int>(flows[1].numberOr("pid", 0)), 200);
+    EXPECT_EQ(flows[2].stringOr("ph", ""), "f");
+    EXPECT_EQ(static_cast<int>(flows[2].numberOr("pid", 0)), 300);
+    EXPECT_EQ(flows[2].stringOr("bp", ""), "e");
+    std::filesystem::remove_all(dir);
+}
+
+// --------------------------------------------- worker metrics rollup
+
+// The satellite regression: a forked worker's histogram samples and
+// counters must fold into the parent registry through the ProcPool
+// result channel — the daemon's `metrics` op sees worker sim time.
+TEST(WorkerMetrics, RollupFoldsWorkerSamplesIntoParent)
+{
+    Metrics::enableHistograms();
+    Metrics &m = Metrics::global();
+    const uint64_t count0 = m.histogram("rollup.sim").count();
+    const uint64_t sum0 = m.histogram("rollup.sim").sumNs();
+    const uint64_t jobs0 = m.counter("rollup.jobs").get();
+    const uint64_t merged0 = m.counter("pool.rollups_merged").get();
+
+    ProcPoolOptions pool_opts;
+    pool_opts.workers = 2;
+    pool_opts.maxAttempts = 1;
+    ProcPool pool(pool_opts);
+    std::vector<ProcJob> jobs(2);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        jobs[i].name = "rollup" + std::to_string(i);
+        jobs[i].run = [] {
+            // The child registry was reset after fork, so this is a
+            // pure delta: exactly these samples, not a re-count of
+            // inherited parent totals.
+            Metrics &child = Metrics::global();
+            child.histogram("rollup.sim").record(1000);
+            child.histogram("rollup.sim").record(3000);
+            child.histogram("rollup.sim").record(5000000);
+            child.counter("rollup.jobs").add();
+            return 0;
+        };
+    }
+    const std::vector<ProcJobOutcome> outcomes = pool.run(jobs);
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto &outcome : outcomes)
+        EXPECT_EQ(outcome.status, ProcJobOutcome::Status::Done)
+            << outcome.lastError;
+
+    EXPECT_EQ(m.histogram("rollup.sim").count() - count0, 6u);
+    EXPECT_EQ(m.histogram("rollup.sim").sumNs() - sum0,
+              2u * (1000u + 3000u + 5000000u));
+    EXPECT_GE(m.histogram("rollup.sim").maxNs(), 5000000u);
+    EXPECT_EQ(m.counter("rollup.jobs").get() - jobs0, 2u);
+    EXPECT_EQ(m.counter("pool.rollups_merged").get() - merged0, 2u);
+    // Percentiles now see the folded buckets.
+    EXPECT_GT(m.histogram("rollup.sim").quantileNs(0.99), 1000u);
+}
+
+// The rollup round-trip at the registry level, including bucket-table
+// fidelity: quantiles computed after a merge match direct recording.
+TEST(WorkerMetrics, RollupSerializationRoundTrips)
+{
+    Metrics a;
+    a.counter("c.one").add(3);
+    a.addSeconds("t.wall", 1.25);
+    for (uint64_t i = 1; i <= 100; ++i)
+        a.histogram("h.lat").record(i * 10000);
+    Metrics b;
+    b.counter("c.one").add(1);
+    ASSERT_TRUE(b.mergeRollup(a.serializeRollup()));
+    EXPECT_EQ(b.counter("c.one").get(), 4u);
+    EXPECT_EQ(b.histogram("h.lat").count(), 100u);
+    EXPECT_EQ(b.histogram("h.lat").sumNs(),
+              a.histogram("h.lat").sumNs());
+    EXPECT_EQ(b.histogram("h.lat").maxNs(), 1000000u);
+    EXPECT_EQ(b.histogram("h.lat").quantileNs(0.5),
+              a.histogram("h.lat").quantileNs(0.5));
+    EXPECT_EQ(b.histogram("h.lat").quantileNs(0.99),
+              a.histogram("h.lat").quantileNs(0.99));
+    // Malformed payloads are rejected without tearing the registry.
+    EXPECT_FALSE(b.mergeRollup("not json"));
+    EXPECT_FALSE(b.mergeRollup("[1,2,3]"));
+    EXPECT_EQ(b.histogram("h.lat").count(), 100u);
+}
+
+// Prometheus text exposition of the same registry (DESIGN.md §14).
+TEST(WorkerMetrics, PrometheusExpositionFormat)
+{
+    Metrics m;
+    m.counter("serve.requests").add(7);
+    m.addSeconds("explore.anneal_seconds", 0.5);
+    for (uint64_t i = 1; i <= 10; ++i)
+        m.histogram("serve.job").record(i * 1000000);
+    const std::string text = m.toPrometheus();
+    EXPECT_NE(text.find("# TYPE xps_serve_requests_total counter"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("xps_serve_requests_total 7"),
+              std::string::npos);
+    EXPECT_NE(
+        text.find("xps_explore_anneal_seconds_seconds_total 0.500000"),
+        std::string::npos);
+    EXPECT_NE(text.find("# TYPE xps_serve_job_ns summary"),
+              std::string::npos);
+    EXPECT_NE(text.find("xps_serve_job_ns{quantile=\"0.99\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("xps_serve_job_ns_count 10"),
+              std::string::npos);
+
+    const std::string dir = freshDir("prom");
+    m.writePrometheus(dir + "/metrics.prom");
+    std::string content;
+    ASSERT_TRUE(readFile(dir + "/metrics.prom", content));
+    EXPECT_EQ(content, text);
     std::filesystem::remove_all(dir);
 }
 

@@ -50,6 +50,9 @@
 #ifndef XPS_SERVE_BIN
 #error "XPS_SERVE_BIN must point at the built xps-serve binary"
 #endif
+#ifndef XPS_CLIENT_BIN
+#error "XPS_CLIENT_BIN must point at the built xps-client binary"
+#endif
 
 using namespace xps;
 namespace fs = std::filesystem;
@@ -579,6 +582,237 @@ TEST(ServeDegraded, QuarantinedMatrixIsMarkedAndNeverCached)
     EXPECT_EQ(intact.find("\"status\":\"missing\""), std::string::npos)
         << intact;
     d.stopGracefully();
+    fs::remove_all(dir);
+}
+
+// --- observability: metrics op, Prometheus export, traced flows ------------
+
+namespace
+{
+
+/** The counters object of a metrics-op response or metrics dump. */
+double
+counterIn(const obs::json::Value &v, const char *name)
+{
+    const obs::json::Value *counters = v.find("counters");
+    return counters ? counters->numberOr(name, -1) : -1;
+}
+
+/** histograms_ns[name][field] of a parsed metrics payload. */
+double
+histIn(const obs::json::Value &v, const char *name, const char *field)
+{
+    const obs::json::Value *hists = v.find("histograms_ns");
+    const obs::json::Value *h = hists ? hists->find(name) : nullptr;
+    return h ? h->numberOr(field, -1) : -1;
+}
+
+/**
+ * Run the production xps-client against `sock` with tracing armed in
+ * shard-only mode (XPS_TRACE_MERGE=0): the client contributes its
+ * shard to the daemon-owned trace and the daemon merges at exit.
+ * Returns the client's exit code (-1 on abnormal death).
+ */
+int
+runTracedClient(const std::string &sock, const std::string &dir,
+                const std::string &tracePath,
+                const std::string &request)
+{
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+        ::setenv("XPS_RESULTS_DIR", dir.c_str(), 1);
+        ::setenv("XPS_SERVE_SOCKET", sock.c_str(), 1);
+        ::setenv("XPS_TRACE_JSON", tracePath.c_str(), 1);
+        ::setenv("XPS_TRACE_MERGE", "0", 1);
+        ::unsetenv("XPS_METRICS_JSON");
+        ::unsetenv("XPS_FAULTS");
+        const std::string log = dir + "/client.log";
+        ::freopen(log.c_str(), "a", stdout);
+        ::freopen(log.c_str(), "a", stderr);
+        ::execl(XPS_CLIENT_BIN, XPS_CLIENT_BIN, request.c_str(),
+                static_cast<char *>(nullptr));
+        ::_exit(127);
+    }
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid || !WIFEXITED(status))
+        return -1;
+    return WEXITSTATUS(status);
+}
+
+} // namespace
+
+// The metrics op is the live view of the same registry the at-exit
+// XPS_METRICS_JSON dump serializes: counters and percentiles agree,
+// and the worker's sim.run samples are visible in the parent — the
+// rollup pipeline end to end.
+TEST(ServeMetrics, MetricsOpMatchesFinalDumpAndSeesWorkerSamples)
+{
+    const std::string dir = shortTempDir();
+    const std::string dump = dir + "/metrics.json";
+    Daemon d(dir);
+    d.flags = {"--workers", "1"};
+    d.env = {{"XPS_METRICS_JSON", dump}};
+    d.start();
+
+    ASSERT_EQ(statusOf(rpc(d.sock, kWhatifReq, 120.0)), "ok");
+
+    const std::string live =
+        rpc(d.sock, "{\"op\":\"metrics\",\"id\":\"m1\"}");
+    ASSERT_EQ(statusOf(live), "ok") << live;
+    obs::json::Value liveV;
+    ASSERT_TRUE(obs::json::parse(live, liveV)) << live;
+    EXPECT_EQ(liveV.stringOr("op", ""), "metrics");
+    EXPECT_EQ(counterIn(liveV, "serve.completed"), 1.0) << live;
+    EXPECT_GE(counterIn(liveV, "serve.requests"), 2.0) << live;
+    // The worker recorded sim.run in its own (reset) registry; the
+    // rollup folded it into the daemon's before the response went out.
+    EXPECT_GT(histIn(liveV, "sim.run", "count"), 0.0) << live;
+    EXPECT_GE(counterIn(liveV, "pool.rollups_merged"), 1.0) << live;
+    EXPECT_GT(histIn(liveV, "serve.job", "p50"), 0.0) << live;
+    EXPECT_GE(histIn(liveV, "serve.job", "p99"),
+              histIn(liveV, "serve.job", "p50"))
+        << live;
+
+    d.stopGracefully();
+
+    // The at-exit dump is the same registry, later: everything the
+    // live view reported is still there, identically for quantities
+    // no further request could advance.
+    std::ifstream in(dump);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    obs::json::Value dumpV;
+    ASSERT_TRUE(obs::json::parse(content, dumpV)) << content;
+    EXPECT_EQ(counterIn(dumpV, "serve.completed"), 1.0);
+    EXPECT_EQ(histIn(dumpV, "serve.job", "count"),
+              histIn(liveV, "serve.job", "count"));
+    EXPECT_EQ(histIn(dumpV, "serve.job", "p50"),
+              histIn(liveV, "serve.job", "p50"));
+    EXPECT_EQ(histIn(dumpV, "serve.job", "p99"),
+              histIn(liveV, "serve.job", "p99"));
+    EXPECT_EQ(histIn(dumpV, "sim.run", "count"),
+              histIn(liveV, "sim.run", "count"));
+    fs::remove_all(dir);
+}
+
+TEST(ServeMetrics, PrometheusSnapshotExportedOnCadence)
+{
+    const std::string dir = shortTempDir();
+    Daemon d(dir);
+    d.flags = {"--workers", "1"};
+    d.env = {{"XPS_METRICS_EXPORT_S", "0.05"}};
+    d.start();
+
+    ASSERT_EQ(statusOf(rpc(d.sock, kWhatifReq, 120.0)), "ok");
+    d.stopGracefully(); // drain writes a final snapshot
+
+    std::ifstream in(dir + "/metrics.prom");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    ASSERT_FALSE(text.empty()) << "no Prometheus snapshot in " << dir;
+    EXPECT_NE(text.find("# TYPE xps_serve_requests_total counter"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("xps_serve_completed_total 1"),
+              std::string::npos)
+        << text;
+    EXPECT_NE(text.find("xps_serve_job_ns{quantile=\"0.99\"}"),
+              std::string::npos)
+        << text;
+    // No torn half-written file may ever be left beside it.
+    for (const auto &entry : fs::directory_iterator(dir)) {
+        EXPECT_EQ(entry.path().filename().string().find(
+                      "metrics.prom.tmp"),
+                  std::string::npos)
+            << entry.path();
+    }
+    fs::remove_all(dir);
+}
+
+// The tentpole acceptance: one explore request through the production
+// client yields one merged Perfetto timeline in which client, daemon
+// and worker spans share the minted rid and are linked by flow events.
+TEST(ServeTrace, ExploreRequestFlowsClientToDaemonToWorker)
+{
+    const std::string dir = shortTempDir();
+    const std::string trace = dir + "/trace.json";
+    const std::string log = dir + "/log.jsonl";
+    Daemon d(dir);
+    d.flags = {"--workers", "1"};
+    d.env = {{"XPS_TRACE_JSON", trace}, {"XPS_LOG_JSON", log}};
+    d.start();
+
+    const int rc = runTracedClient(
+        d.sock, dir, trace,
+        "{\"op\":\"explore\",\"id\":\"e1\",\"workloads\":[\"gzip\"],"
+        "\"instrs\":3000,\"sa_iters\":16,\"rounds\":1,\"seed\":3}");
+    EXPECT_EQ(rc, 0) << "xps-client failed; see " << dir
+                     << "/client.log";
+
+    d.stopGracefully(); // the daemon owns the merge, at exit
+
+    std::ifstream in(trace);
+    std::string content((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+    obs::json::Value root;
+    ASSERT_TRUE(obs::json::parse(content, root))
+        << "merged trace unreadable: " << trace;
+    const obs::json::Value *events = root.find("traceEvents");
+    ASSERT_NE(events, nullptr);
+
+    // The client minted the rid; find it on its client.request span,
+    // then follow it across processes.
+    std::string rid;
+    for (const auto &ev : events->items) {
+        if (ev.stringOr("name", "") == "client.request") {
+            rid = ev.stringOr("rid", "");
+            break;
+        }
+    }
+    ASSERT_FALSE(rid.empty()) << "client span carries no rid";
+    EXPECT_EQ(rid.rfind("c", 0), 0u); // client-minted: "c<pid>-..."
+
+    std::set<int> ridPids;
+    std::set<std::string> ridNames;
+    std::vector<std::string> flowPhs;
+    for (const auto &ev : events->items) {
+        if (ev.stringOr("rid", "") == rid) {
+            ridPids.insert(static_cast<int>(ev.numberOr("pid", 0)));
+            ridNames.insert(ev.stringOr("name", ""));
+        }
+        if (ev.stringOr("cat", "") == "flow" &&
+            ev.find("args") != nullptr &&
+            ev.find("args")->stringOr("rid", "") == rid)
+            flowPhs.push_back(ev.stringOr("ph", ""));
+    }
+    // Client, daemon, worker: three processes on one request id.
+    EXPECT_GE(ridPids.size(), 3u) << "pids sharing rid " << rid;
+    EXPECT_TRUE(ridNames.count("client.request"));
+    EXPECT_TRUE(ridNames.count("serve.queue")); // daemon side
+    EXPECT_TRUE(ridNames.count("pool.job"));    // worker side
+    // One complete flow: starts at the client, finishes (binding
+    // enclosing) at the last hop, stepping through each process.
+    ASSERT_GE(flowPhs.size(), 3u);
+    EXPECT_EQ(flowPhs.front(), "s");
+    EXPECT_EQ(flowPhs.back(), "f");
+
+    // The structured log merged beside it, rid-stamped and parseable.
+    std::ifstream logIn(log);
+    std::string logContent((std::istreambuf_iterator<char>(logIn)),
+                           std::istreambuf_iterator<char>());
+    ASSERT_FALSE(logContent.empty()) << "no merged log at " << log;
+    bool sawCompletion = false;
+    std::istringstream lines(logContent);
+    std::string line;
+    while (std::getline(lines, line)) {
+        obs::json::Value ev;
+        ASSERT_TRUE(obs::json::parse(line, ev)) << line;
+        if (ev.stringOr("msg", "") == "job completed" &&
+            ev.stringOr("rid", "") == rid)
+            sawCompletion = true;
+    }
+    EXPECT_TRUE(sawCompletion)
+        << "no rid-stamped completion event in " << log;
     fs::remove_all(dir);
 }
 
